@@ -1,0 +1,61 @@
+"""Figure 10c/10d: indexing (+storing) time vs data size.
+
+Paper shapes: for Order, JUST pays more than the Spark systems (it writes
+to disk, they cache in memory); for Traj, Simba OOMs at 40% and
+SpatialSpark at 100%, while JUST keeps scaling; JUSTnc is slower than
+JUST because the uncompressed data incurs more write I/O; Hadoop systems
+take orders of magnitude longer (they serialize index files).
+"""
+
+from harness import DATA, FRACTIONS, OOM, FigureTable
+
+from repro.baselines import GeoSpark, LocationSpark, Simba, SpatialSpark
+
+ORDER_SYSTEMS = (GeoSpark, LocationSpark, SpatialSpark, Simba)
+TRAJ_SYSTEMS = (GeoSpark, SpatialSpark, Simba)
+
+
+def test_fig10c_indexing_order(data, report, benchmark):
+    just = data.order_just
+    table = FigureTable("Fig 10c", "Indexing time (Order), sim ms",
+                        "data size %")
+    for percent in FRACTIONS:
+        table.add("JUST", percent, just["index_ms"]["JUST"][percent])
+        for cls in ORDER_SYSTEMS:
+            loaded = data.baseline(cls, "order", percent)
+            table.add(cls.name, percent,
+                      OOM if loaded == OOM else loaded["load_ms"])
+    report.record(table)
+    benchmark(lambda: data.baseline(Simba, "order", 100))
+
+    # JUST indexing+storing costs more than an in-memory Spark load.
+    assert table.value("JUST", 100) > table.value("GeoSpark", 100)
+    # Monotone growth for JUST.
+    series = [table.value("JUST", p) for p in FRACTIONS]
+    assert series == sorted(series)
+
+
+def test_fig10d_indexing_traj(data, report, benchmark):
+    just = data.traj_just
+    just_nc = data.traj_just_nc
+    table = FigureTable("Fig 10d", "Indexing time (Traj), sim ms",
+                        "data size %")
+    for percent in FRACTIONS:
+        table.add("JUST", percent, just["index_ms"]["JUST"][percent])
+        table.add("JUSTnc", percent,
+                  just_nc["index_ms"]["JUST"][percent])
+        for cls in TRAJ_SYSTEMS:
+            loaded = data.baseline(cls, "traj", percent)
+            table.add(cls.name, percent,
+                      OOM if loaded == OOM else loaded["load_ms"])
+    report.record(table)
+    benchmark(lambda: data.baseline(GeoSpark, "traj", 100))
+
+    # Paper's OOM crossovers: Simba dies at 40%, SpatialSpark at 100%.
+    assert table.value("Simba", 20) != OOM
+    assert table.value("Simba", 40) == OOM
+    assert table.value("SpatialSpark", 80) != OOM
+    assert table.value("SpatialSpark", 100) == OOM
+    assert table.value("GeoSpark", 100) != OOM
+    # Compression reduces write I/O: JUST indexes faster than JUSTnc.
+    assert table.value("JUST", 100) < table.value("JUSTnc", 100)

@@ -1,0 +1,51 @@
+"""Figure 10a/10b: storage size vs data size, with/without compression.
+
+Paper shapes to reproduce: compressing the Traj GPS list shrinks storage
+several-fold (10b); compressing the Order dataset's tiny fields slightly
+*grows* it (10a's JUSTcompress line).
+"""
+
+from harness import FRACTIONS, FigureTable
+
+_MB = 1024.0 * 1024.0
+
+
+def test_fig10a_storage_order(data, report, benchmark):
+    just = benchmark(lambda: data.order_just)
+    compressed = data.order_just_compressed
+    table = FigureTable("Fig 10a", "Storage size (Order), MB",
+                        "data size %")
+    for percent in FRACTIONS:
+        table.add("JUST", percent,
+                  just["storage"]["JUST"][percent] / _MB)
+        table.add("JUSTcompress", percent, compressed[percent] / _MB)
+    report.record(table)
+
+    # Shapes: storage grows with data; compressing tiny fields does not
+    # pay off (JUSTcompress >= JUST at full size).
+    sizes = [table.value("JUST", p) for p in FRACTIONS]
+    assert sizes == sorted(sizes)
+    assert table.value("JUSTcompress", 100) >= \
+        table.value("JUST", 100) * 0.98
+
+
+def test_fig10b_storage_traj(data, report, benchmark):
+    just = benchmark(lambda: data.traj_just)
+    just_nc = data.traj_just_nc
+    table = FigureTable("Fig 10b", "Storage size (Traj), MB",
+                        "data size %")
+    for percent in FRACTIONS:
+        table.add("JUST", percent,
+                  just["storage"]["JUST"][percent] / _MB)
+        table.add("JUSTnc", percent,
+                  just_nc["storage"]["JUST"][percent] / _MB)
+    report.record(table)
+
+    # Shapes: monotone growth; compression shrinks trajectories markedly
+    # (the paper stores 136 GB raw in ~30 GB).
+    sizes = [table.value("JUST", p) for p in FRACTIONS]
+    assert sizes == sorted(sizes)
+    assert table.value("JUST", 100) < 0.7 * table.value("JUSTnc", 100)
+    # Stored size is below the raw CSV size thanks to compression.
+    raw_mb = data.traj_stats.raw_size_bytes / _MB
+    assert table.value("JUST", 100) < raw_mb

@@ -1,0 +1,138 @@
+"""Figure 11: spatial range query performance.
+
+11a/11b: query time vs data size (Order / Traj).
+11c/11d: query time vs spatial window (Order / Traj).
+
+Paper shapes: all systems grow with data size and window; JUST is
+competitive with the Spark systems and far faster than SpatialHadoop;
+memory-bound systems OOM on Traj (Simba > 20%, LocationSpark even at
+20%); JUST beats JUSTnc because compression saves disk reads.
+"""
+
+import pytest
+
+from harness import (
+    DEFAULT_WINDOW_KM,
+    FRACTIONS,
+    OOM,
+    QUERY_REPS,
+    SPATIAL_WINDOWS_KM,
+    FigureTable,
+    baseline_spatial_ms,
+    just_spatial_ms,
+)
+
+from repro.baselines import (
+    GeoSpark,
+    LocationSpark,
+    Simba,
+    SpatialHadoop,
+    SpatialSpark,
+)
+
+ORDER_SYSTEMS = (GeoSpark, LocationSpark, SpatialSpark, Simba,
+                 SpatialHadoop)
+TRAJ_SYSTEMS = (GeoSpark, SpatialSpark, Simba)
+
+
+def _windows(data, dataset, window_km):
+    if dataset == "order":
+        return data.order_query_windows(window_km, QUERY_REPS)
+    return data.traj_query_windows(window_km, QUERY_REPS)
+
+
+def _just_fraction_tables(data, dataset):
+    """JUST tables per fraction live in one engine, keyed by variant."""
+    if dataset == "order":
+        return data.order_just["engine"], "order_JUST"
+    return data.traj_just["engine"], "traj_JUST"
+
+
+@pytest.mark.parametrize("dataset,systems,figure,title", [
+    ("order", ORDER_SYSTEMS, "Fig 11a",
+     "Spatial range query vs data size (Order), sim ms"),
+    ("traj", TRAJ_SYSTEMS, "Fig 11b",
+     "Spatial range query vs data size (Traj), sim ms"),
+])
+def test_fig11_data_size(data, report, benchmark, dataset, systems,
+                         figure, title):
+    # Fraction sweeps need a dedicated JUST engine per fraction (the
+    # shared engines only hold the final 100% state).
+    from harness import ORDER_SCHEMA
+
+    windows = _windows(data, dataset, DEFAULT_WINDOW_KM)
+    table = FigureTable(figure, title, "data size %")
+    for percent in FRACTIONS:
+        engine = data.engine()
+        if dataset == "order":
+            engine.create_table("t", ORDER_SCHEMA)
+            engine.insert("t", data.order_fraction(percent))
+            engine.table("t").flush()
+        else:
+            plugin = engine.create_plugin_table("t", "trajectory")
+            plugin.insert_trajectories(data.traj_fraction(percent))
+            plugin.flush()
+        table.add("JUST", percent, just_spatial_ms(engine, "t", windows))
+        if dataset == "traj":
+            nc = data.engine(compression=False)
+            plugin = nc.create_plugin_table("t", "trajectory")
+            plugin.insert_trajectories(data.traj_fraction(percent))
+            plugin.flush()
+            table.add("JUSTnc", percent,
+                      just_spatial_ms(nc, "t", windows))
+        for cls in systems:
+            loaded = data.baseline(cls, dataset, percent)
+            table.add(cls.name, percent,
+                      baseline_spatial_ms(loaded, windows))
+    report.record(table)
+    benchmark(lambda: just_spatial_ms(
+        *_just_fraction_tables(data, dataset), windows[:1]))
+
+    # Shapes: SpatialHadoop is far slower than JUST (job launch).
+    if dataset == "order":
+        assert table.value("SpatialHadoop", 100) > \
+            3 * table.value("JUST", 100)
+    else:
+        assert table.value("Simba", 40) == OOM
+        assert table.value("JUST", 100) <= table.value("JUSTnc", 100)
+
+
+@pytest.mark.parametrize("dataset,systems,figure,title", [
+    ("order", ORDER_SYSTEMS, "Fig 11c",
+     "Spatial range query vs window (Order), sim ms"),
+    ("traj", (GeoSpark, SpatialSpark), "Fig 11d",
+     "Spatial range query vs window (Traj), sim ms"),
+])
+def test_fig11_spatial_window(data, report, benchmark, dataset, systems,
+                              figure, title):
+    engine_key = "order_just" if dataset == "order" else "traj_just"
+    built = getattr(data, engine_key)
+    engine = built["engine"]
+    just_table = "order_JUST" if dataset == "order" else "traj_JUST"
+    # Paper note: SpatialSpark only holds 80% of Traj.
+    baseline_percent = {"SpatialSpark": 80} if dataset == "traj" else {}
+
+    table = FigureTable(figure, title, "window km")
+    for window_km in SPATIAL_WINDOWS_KM:
+        windows = _windows(data, dataset, window_km)
+        table.add("JUST", window_km,
+                  just_spatial_ms(engine, just_table, windows))
+        if dataset == "traj":
+            nc_engine = data.traj_just_nc["engine"]
+            table.add("JUSTnc", window_km,
+                      just_spatial_ms(nc_engine, "traj_JUST", windows))
+        for cls in systems:
+            percent = baseline_percent.get(cls.name, 100)
+            loaded = data.baseline(cls, dataset, percent)
+            label = cls.name if percent == 100 else \
+                f"{cls.name}({percent}%)"
+            table.add(label, window_km,
+                      baseline_spatial_ms(loaded, windows))
+    report.record(table)
+    benchmark(lambda: just_spatial_ms(
+        engine, just_table,
+        _windows(data, dataset, DEFAULT_WINDOW_KM)[:1]))
+
+    # Bigger windows cost more (weakly monotone for JUST).
+    series = [table.value("JUST", w) for w in SPATIAL_WINDOWS_KM]
+    assert series[-1] >= series[0] * 0.95

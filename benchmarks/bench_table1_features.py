@@ -1,0 +1,23 @@
+"""Table I: the feature matrix of the twelve compared systems."""
+
+from harness import FigureTable
+
+from repro.baselines import feature_table
+
+
+def test_table1_feature_matrix(report, benchmark):
+    rows = benchmark(feature_table)
+    table = FigureTable("Table I", "Comparing JUST against other systems",
+                        "feature")
+    for row in rows:
+        system = row.pop("system")
+        for feature, value in row.items():
+            table.add(system, feature, value)
+    report.record(table)
+    just = table.series["JUST"]
+    assert just["data_update"] == "Yes"
+    assert just["sql"] == "Yes"
+    assert just["s_or_st"] == "S/ST"
+    # Spark-based systems are memory-limited.
+    for spark in ("Simba", "GeoSpark", "LocationSpark", "SpatialSpark"):
+        assert table.series[spark]["scalability"] == "Limited"

@@ -1,0 +1,30 @@
+"""Table II: statistics of the generated datasets."""
+
+from harness import DATA, SYNTHETIC_MULTIPLIER, FigureTable
+
+from repro.datagen.datasets import traj_statistics
+
+
+def test_table2_dataset_statistics(data, report, benchmark):
+    stats = benchmark(lambda: [
+        data.traj_stats,
+        data.order_stats,
+        traj_statistics(data.synthetic, "Synthetic"),
+    ])
+    table = FigureTable("Table II", "Statistics of datasets", "attribute")
+    for s in stats:
+        table.add(s.name, "points", s.num_points)
+        table.add(s.name, "records", s.num_records)
+        table.add(s.name, "raw_mb", round(s.raw_size_mb, 2))
+    report.record(table)
+
+    traj, order, synthetic = stats
+    # Shape checks mirroring Table II's proportions:
+    # Traj has far more points than records (hundreds per trajectory).
+    assert traj.num_points > 50 * traj.num_records
+    # Order is point-per-record.
+    assert order.num_points == order.num_records
+    # Synthetic is the copy & sample scale-up of Traj.
+    assert synthetic.num_points == SYNTHETIC_MULTIPLIER * traj.num_points
+    # Traj raw size dominates Order (136 GB vs 10 GB in the paper).
+    assert traj.raw_size_bytes > 2 * order.raw_size_bytes

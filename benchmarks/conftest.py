@@ -1,0 +1,35 @@
+"""Benchmark fixtures: shared dataset/engine state and report sink."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from harness import DATA, REPORT
+
+
+def pytest_configure(config):
+    # The session retains dozens of populated engines (tens of millions
+    # of acyclic objects).  CPython's generational GC re-walks them on
+    # every gen-2 collection, slowing later benchmarks by an order of
+    # magnitude.  Reference counting reclaims everything these benchmarks
+    # allocate, so cyclic GC is disabled for the session.
+    gc.collect()
+    gc.freeze()
+    gc.disable()
+
+
+@pytest.fixture(scope="session")
+def data():
+    """The lazily-built shared figure data (datasets, engines)."""
+    return DATA
+
+
+@pytest.fixture(scope="session")
+def report():
+    return REPORT
+
+
+def pytest_sessionfinish(session, exitstatus):
+    REPORT.flush()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The offline environment ships setuptools 65.5 without the ``wheel``
+package, so PEP 660 editable installs are unavailable; this classic
+``setup.py`` keeps ``pip install -e .`` working there.
+"""
+
+from setuptools import setup
+
+setup()

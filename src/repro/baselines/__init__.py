@@ -1,0 +1,36 @@
+"""Reimplementations of the paper's six comparison systems.
+
+Each baseline implements its architecture class's real algorithms (spatial
+partitioning, local/global indexes, query paths) over the same datasets
+and cluster cost model as JUST, so the evaluation figures compare like
+with like:
+
+* **Spark-based, memory-resident**: Simba, GeoSpark, SpatialSpark,
+  LocationSpark — data and indexes live in cluster memory (subject to the
+  memory budget; exceeding it raises the simulated OOM the paper reports).
+* **Hadoop-based, disk-resident**: SpatialHadoop, ST-Hadoop — partitioned
+  files on disk, a MapReduce job launch per query.
+
+``registry`` carries the static feature matrix of Table I.
+"""
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.simba import Simba
+from repro.baselines.geospark import GeoSpark
+from repro.baselines.spatialspark import SpatialSpark
+from repro.baselines.locationspark import LocationSpark
+from repro.baselines.spatialhadoop import SpatialHadoop
+from repro.baselines.sthadoop import STHadoop
+from repro.baselines.registry import FEATURE_MATRIX, feature_table
+
+__all__ = [
+    "BaselineSystem",
+    "Simba",
+    "GeoSpark",
+    "SpatialSpark",
+    "LocationSpark",
+    "SpatialHadoop",
+    "STHadoop",
+    "FEATURE_MATRIX",
+    "feature_table",
+]

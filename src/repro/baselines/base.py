@@ -1,0 +1,416 @@
+"""Shared machinery for the comparison systems.
+
+The baselines operate on :class:`Item` records — the index-relevant
+projection of a point or trajectory plus its raw byte size.  Loading
+builds each system's partitioning + indexes for real (the structures in
+:mod:`repro.spatial_index`), charges the cost model for the work, and
+reserves cluster memory for memory-resident systems.  Queries run the
+real index algorithms and charge scan/CPU/network costs, so the
+benchmark's relative numbers derive from actual work done.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cluster.node import Cluster
+from repro.cluster.simclock import SimJob
+from repro.datagen.datasets import (
+    _csv_bytes_per_gps_point,
+    _csv_bytes_per_order,
+)
+from repro.errors import UnsupportedOperationError
+from repro.geometry.envelope import Envelope
+from repro.spatial_index.rtree import RTree
+from repro.trajectory.model import Trajectory
+
+
+@dataclass(frozen=True)
+class Item:
+    """One indexed record: envelope, time extent, id, raw size."""
+
+    fid: str
+    envelope: Envelope
+    t_min: float
+    t_max: float
+    raw_bytes: int
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return self.envelope.center
+
+
+def items_from_orders(rows: list[dict]) -> list[Item]:
+    """Convert Order rows (fid/time/geom) into baseline items."""
+    per_row = _csv_bytes_per_order()
+    return [Item(str(r["fid"]), r["geom"].envelope, float(r["time"]),
+                 float(r["time"]), per_row) for r in rows]
+
+
+def items_from_trajectories(trajectories: list[Trajectory]) -> list[Item]:
+    """Convert trajectories into baseline items (MBR + time extent)."""
+    per_point = _csv_bytes_per_gps_point()
+    return [Item(t.tid, t.envelope, t.start_time, t.end_time,
+                 len(t.points) * per_point) for t in trajectories]
+
+
+@dataclass
+class BaselineResult:
+    """Query output plus the simulated job that produced it."""
+
+    items: list[Item]
+    job: SimJob
+
+    @property
+    def sim_ms(self) -> float:
+        return self.job.elapsed_ms
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class BaselineSystem(ABC):
+    """Interface shared by all six comparison systems."""
+
+    #: Display name used in benchmark tables.
+    name: str = "abstract"
+    #: "spark" (memory-resident) or "hadoop" (disk-resident MapReduce).
+    category: str = "spark"
+    #: In-memory bytes consumed per raw input byte when cached (RDD rows,
+    #: JVM object headers, index overhead).  Drives the OOM behaviour.
+    memory_expansion: float = 1.0
+    #: Table VI capabilities.
+    supports_st: bool = False
+    supports_knn: bool = True
+
+    def __init__(self, cluster: Cluster | None = None):
+        self.cluster = cluster if cluster is not None else Cluster()
+        self.items: list[Item] = []
+        self.raw_bytes = 0
+        self.loaded = False
+
+    # -- loading -----------------------------------------------------------------
+    def load(self, items: list[Item]) -> SimJob:
+        """Ingest + index a dataset; returns the indexing-time job."""
+        job = self.cluster.job()
+        self.items = list(items)
+        self.raw_bytes = sum(item.raw_bytes for item in items)
+        # Reading the raw input from distributed storage.
+        job.charge_disk_read(self.raw_bytes)
+        if self.category == "spark":
+            self.cluster.reserve_memory(
+                self.name, int(self.raw_bytes * self.memory_expansion))
+        self._build(job)
+        self.loaded = True
+        return job
+
+    @abstractmethod
+    def _build(self, job: SimJob) -> None:
+        """Build this system's partitioning and indexes, charging ``job``."""
+
+    def unload(self) -> None:
+        self.cluster.release_memory(self.name)
+        self.items = []
+        self.loaded = False
+
+    # -- queries -----------------------------------------------------------------
+    def spatial_range_query(self, query: Envelope) -> BaselineResult:
+        job = self._query_job()
+        items = self._spatial_query(query, job)
+        self._charge_results(job, items)
+        return BaselineResult(items, job)
+
+    def st_range_query(self, query: Envelope, t_min: float,
+                       t_max: float) -> BaselineResult:
+        if not self.supports_st:
+            raise UnsupportedOperationError(
+                f"{self.name} does not support spatio-temporal queries")
+        job = self._query_job()
+        items = self._st_query(query, t_min, t_max, job)
+        self._charge_results(job, items)
+        return BaselineResult(items, job)
+
+    def knn(self, lng: float, lat: float, k: int) -> BaselineResult:
+        if not self.supports_knn:
+            raise UnsupportedOperationError(
+                f"{self.name} does not support k-NN queries")
+        job = self._query_job()
+        items = self._knn_query(lng, lat, k, job)
+        self._charge_results(job, items)
+        return BaselineResult(items, job)
+
+    def _query_job(self) -> SimJob:
+        job = self.cluster.job()
+        if self.category == "hadoop":
+            job.charge_fixed("job_launch", self.cluster.model.mapreduce_job_ms)
+        else:
+            job.charge_fixed("spark_stage",
+                             self.cluster.model.spark_stage_ms)
+        return job
+
+    def _charge_results(self, job: SimJob, items: list[Item]) -> None:
+        job.charge_network(sum(item.raw_bytes for item in items))
+
+    @abstractmethod
+    def _spatial_query(self, query: Envelope,
+                       job: SimJob) -> list[Item]:
+        ...
+
+    def _st_query(self, query: Envelope, t_min: float, t_max: float,
+                  job: SimJob) -> list[Item]:
+        items = self._spatial_query(query, job)
+        job.charge_cpu_records(len(items))
+        return [item for item in items
+                if item.t_max >= t_min and item.t_min <= t_max]
+
+    def _knn_query(self, lng: float, lat: float, k: int,
+                   job: SimJob) -> list[Item]:
+        raise UnsupportedOperationError(
+            f"{self.name} does not implement k-NN")
+
+
+class SparkBaseline(BaselineSystem):
+    """Common structure of the Spark systems: spatial partitions with
+    per-partition local indexes, optionally a global index over partition
+    MBRs.
+
+    ``has_global_index=False`` (GeoSpark) means every query visits every
+    partition; with a global index only intersecting partitions are
+    visited — but the whole global index is scanned per query, which is
+    the "scan huge indexes" cost the paper attributes to these systems.
+    """
+
+    category = "spark"
+    has_global_index = True
+    partitions_per_server = 4
+
+    def __init__(self, cluster: Cluster | None = None):
+        super().__init__(cluster)
+        self.partitions: list[list[Item]] = []
+        self.partition_envelopes: list[Envelope] = []
+        self.local_indexes: list[object] = []
+
+    # -- partitioning -------------------------------------------------------------
+    def _build(self, job: SimJob) -> None:
+        num_partitions = max(
+            1, self.cluster.num_servers * self.partitions_per_server)
+        self.partitions = self._partition_items(num_partitions)
+        self.partition_envelopes = [
+            Envelope.union_all([i.envelope for i in part])
+            for part in self.partitions if part]
+        self.partitions = [p for p in self.partitions if p]
+        self.local_indexes = [self._build_local_index(part, job)
+                              for part in self.partitions]
+        # Shuffle (parallel across executors) + index-build cost.
+        job.charge_fixed("shuffle",
+                         job.model.network_ms(self.raw_bytes)
+                         / max(1, self.cluster.num_servers))
+        job.charge_cpu_records(
+            len(self.items),
+            us_per_record=self.cluster.model.index_build_us_per_record)
+
+    def _partition_items(self, num_partitions: int) -> list[list[Item]]:
+        """STR-style spatial partitioning (sort by x, strip by y)."""
+        items = sorted(self.items, key=lambda i: i.center[0])
+        slices = max(1, int(math.sqrt(num_partitions)))
+        per_slice = math.ceil(len(items) / slices) or 1
+        per_cell = math.ceil(per_slice / max(1, num_partitions // slices)) \
+            or 1
+        partitions: list[list[Item]] = []
+        for i in range(0, len(items), per_slice):
+            strip = sorted(items[i:i + per_slice],
+                           key=lambda it: it.center[1])
+            for j in range(0, len(strip), per_cell):
+                partitions.append(strip[j:j + per_cell])
+        return partitions
+
+    def _build_local_index(self, partition: list[Item],
+                           job: SimJob) -> object:
+        return RTree([(item.envelope, item) for item in partition])
+
+    # -- queries ---------------------------------------------------------------------
+    def _candidate_partitions(self, query: Envelope,
+                              job: SimJob) -> list[int]:
+        if not self.has_global_index:
+            return list(range(len(self.partitions)))
+        # Scanning the global index costs a pass over partition MBRs.
+        job.charge_cpu_records(len(self.partition_envelopes),
+                               us_per_record=0.5, parallel=False)
+        return [i for i, env in enumerate(self.partition_envelopes)
+                if env.intersects(query)]
+
+    def _spatial_query(self, query: Envelope, job: SimJob) -> list[Item]:
+        out: list[Item] = []
+        visited_nodes = 0
+        candidate_bytes = 0
+        candidate_records = 0
+        for index in self._candidate_partitions(query, job):
+            local = self.local_indexes[index]
+            found = local.range_query(query)
+            visited_nodes += getattr(local, "last_nodes_visited", 0)
+            candidate_bytes += sum(item.raw_bytes
+                                   for item in self.partitions[index])
+            candidate_records += len(self.partitions[index])
+            out.extend(found)
+        # A Spark stage materializes every candidate partition: the task
+        # deserializes and tests each cached row (this is the "scan huge
+        # indexes" cost of Section I — GeoSpark, lacking a global index,
+        # pays it for the whole dataset).
+        job.charge_cpu_records(visited_nodes, us_per_record=1.0)
+        job.charge_memory_scan(candidate_bytes)
+        job.charge_cpu_records(candidate_records)
+        return [item for item in out
+                if item.envelope.intersects(query)]
+
+    def _knn_query(self, lng: float, lat: float, k: int,
+                   job: SimJob) -> list[Item]:
+        # Gather k candidates per partition, merge on the driver.  Each
+        # candidate partition is materialized in full (takeOrdered over
+        # the cached rows), like the range-query path.
+        candidates: list[Item] = []
+        nodes = 0
+        candidate_bytes = 0
+        candidate_records = 0
+        for index in self._candidate_knn_partitions(lng, lat, job):
+            local = self.local_indexes[index]
+            candidates.extend(local.knn(lng, lat, k))
+            nodes += getattr(local, "last_nodes_visited", 0)
+            candidate_bytes += sum(item.raw_bytes
+                                   for item in self.partitions[index])
+            candidate_records += len(self.partitions[index])
+        job.charge_cpu_records(nodes, us_per_record=1.0)
+        job.charge_memory_scan(candidate_bytes)
+        job.charge_cpu_records(candidate_records)
+        job.charge_network(sum(item.raw_bytes for item in candidates))
+        candidates.sort(key=lambda item:
+                        item.envelope.min_distance_to_point(lng, lat))
+        return candidates[:k]
+
+    def _candidate_knn_partitions(self, lng: float, lat: float,
+                                  job: SimJob) -> list[int]:
+        if not self.has_global_index:
+            return list(range(len(self.partitions)))
+        job.charge_cpu_records(len(self.partition_envelopes),
+                               us_per_record=0.5, parallel=False)
+        ranked = sorted(
+            range(len(self.partition_envelopes)),
+            key=lambda i: self.partition_envelopes[i]
+            .min_distance_to_point(lng, lat))
+        # The containing partition plus its nearest neighbours.
+        return ranked[:max(3, len(ranked) // 4)]
+
+
+class HadoopBaseline(BaselineSystem):
+    """Common structure of the Hadoop systems: grid-partitioned files on
+    disk; every query launches a MapReduce job that reads the candidate
+    partitions in full."""
+
+    category = "hadoop"
+    grid_cols = 16
+    grid_rows = 16
+    #: Index serialization is the paper's observed Hadoop bottleneck.
+    serialize_us_per_record = 150.0
+
+    def __init__(self, cluster: Cluster | None = None):
+        super().__init__(cluster)
+        self.partition_files: dict[tuple[int, int], list[Item]] = {}
+        self.bounds: Envelope | None = None
+
+    def _build(self, job: SimJob) -> None:
+        if not self.items:
+            self.bounds = Envelope.world()
+            return
+        self.bounds = Envelope.union_all(
+            [item.envelope for item in self.items])
+        width = self.bounds.width / self.grid_cols or 1e-12
+        height = self.bounds.height / self.grid_rows or 1e-12
+
+        def clamp(value, top):
+            return min(top, max(0, int(value)))
+
+        # Extended objects are replicated into every overlapping cell
+        # (SpatialHadoop's grid partitioning does the same); queries
+        # deduplicate by feature id.
+        for item in self.items:
+            env = item.envelope
+            c1 = clamp((env.min_lng - self.bounds.min_lng) / width,
+                       self.grid_cols - 1)
+            c2 = clamp((env.max_lng - self.bounds.min_lng) / width,
+                       self.grid_cols - 1)
+            r1 = clamp((env.min_lat - self.bounds.min_lat) / height,
+                       self.grid_rows - 1)
+            r2 = clamp((env.max_lat - self.bounds.min_lat) / height,
+                       self.grid_rows - 1)
+            for col in range(c1, c2 + 1):
+                for row in range(r1, r2 + 1):
+                    self.partition_files.setdefault((col, row),
+                                                    []).append(item)
+        # MapReduce indexing: one full job, a shuffle, serialized index
+        # files written back to disk (the paper's >3h bottleneck).
+        job.charge_fixed("job_launch",
+                         self.cluster.model.mapreduce_job_ms * 2)
+        job.charge_network(self.raw_bytes)
+        job.charge_cpu_records(len(self.items),
+                               us_per_record=self.serialize_us_per_record,
+                               parallel=True)
+        job.charge_disk_write(self.raw_bytes * 2)
+
+    def _candidate_files(self, query: Envelope) -> list[list[Item]]:
+        if self.bounds is None:
+            return []
+        width = self.bounds.width / self.grid_cols or 1e-12
+        height = self.bounds.height / self.grid_rows or 1e-12
+        c1 = max(0, int((query.min_lng - self.bounds.min_lng) / width))
+        c2 = min(self.grid_cols - 1,
+                 int((query.max_lng - self.bounds.min_lng) / width))
+        r1 = max(0, int((query.min_lat - self.bounds.min_lat) / height))
+        r2 = min(self.grid_rows - 1,
+                 int((query.max_lat - self.bounds.min_lat) / height))
+        out = []
+        for col in range(c1, c2 + 1):
+            for row in range(r1, r2 + 1):
+                part = self.partition_files.get((col, row))
+                if part:
+                    out.append(part)
+        return out
+
+    def _spatial_query(self, query: Envelope, job: SimJob) -> list[Item]:
+        out: list[Item] = []
+        seen: set[str] = set()
+        read_bytes = 0
+        scanned = 0
+        for part in self._candidate_files(query):
+            read_bytes += sum(item.raw_bytes for item in part)
+            scanned += len(part)
+            for item in part:
+                if item.fid not in seen and \
+                        item.envelope.intersects(query):
+                    seen.add(item.fid)
+                    out.append(item)
+        job.charge_disk_read(read_bytes)
+        job.charge_cpu_records(scanned)
+        return out
+
+    def _knn_query(self, lng: float, lat: float, k: int,
+                   job: SimJob) -> list[Item]:
+        """Expanding-range k-NN over grid files (SpatialHadoop style)."""
+        if self.bounds is None:
+            return []
+        span = max(self.bounds.width / self.grid_cols,
+                   self.bounds.height / self.grid_rows)
+        radius = span
+        while True:
+            query = Envelope(
+                max(-180.0, lng - radius), max(-90.0, lat - radius),
+                min(180.0, lng + radius), min(90.0, lat + radius))
+            found = self._spatial_query(query, job)
+            if len(found) >= k or query.contains(self.bounds):
+                found.sort(key=lambda item: item.envelope
+                           .min_distance_to_point(lng, lat))
+                return found[:k]
+            radius *= 2.0
+            # Each expansion is another MapReduce round.
+            job.charge_fixed("job_launch",
+                             self.cluster.model.mapreduce_job_ms)

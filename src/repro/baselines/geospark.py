@@ -1,0 +1,20 @@
+"""GeoSpark (SIGSPATIAL 2015): Spatial RDDs with local indexes only.
+
+GeoSpark's SRDDs carry one geometry type and local per-partition indexes,
+but it "lacks a global index, which limits its performance" (Section II):
+every query visits every partition.  Its lean row format keeps the memory
+footprint the smallest of the Spark systems, so it survives the full Traj
+dataset in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import SparkBaseline
+
+
+class GeoSpark(SparkBaseline):
+    name = "GeoSpark"
+    memory_expansion = 0.8
+    has_global_index = False
+    supports_st = False
+    supports_knn = True

@@ -1,0 +1,20 @@
+"""Simba (SIGMOD 2016): Spark SQL with global + local spatial indexes.
+
+Simba partitions with STR, keeps an R-tree per partition and a global
+index over partition MBRs, and supports SQL and k-NN but not
+spatio-temporal predicates.  Its rich per-row representation gives it the
+largest memory footprint of the Spark systems after LocationSpark — the
+paper observes it OOMs at 40% of the Traj dataset.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import SparkBaseline
+
+
+class Simba(SparkBaseline):
+    name = "Simba"
+    memory_expansion = 3.0
+    has_global_index = True
+    supports_st = False
+    supports_knn = True

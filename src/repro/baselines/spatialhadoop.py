@@ -1,0 +1,17 @@
+"""SpatialHadoop (ICDE 2015): MapReduce with persisted grid partitions.
+
+Spatial-only queries (range, k-NN, joins) over partition files on HDFS.
+Every query launches a MapReduce job, which dominates latency; indexing
+serializes and writes partition files, which the paper observes taking
+hours at scale.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import HadoopBaseline
+
+
+class SpatialHadoop(HadoopBaseline):
+    name = "SpatialHadoop"
+    supports_st = False
+    supports_knn = True

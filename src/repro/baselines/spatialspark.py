@@ -1,0 +1,29 @@
+"""SpatialSpark (ICDE workshops 2015): grid-partitioned Spark ranges.
+
+SpatialSpark supports fixed-grid / binary-space partitioning with spatial
+range queries only — no k-NN, no SQL, no temporal dimension.  Its
+partition replication of boundary-crossing objects gives it a moderate
+memory footprint; the paper reports it fails at 100% of Traj.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import SparkBaseline
+from repro.cluster.simclock import SimJob
+from repro.spatial_index.grid import GridIndex
+from repro.geometry.envelope import Envelope
+
+
+class SpatialSpark(SparkBaseline):
+    name = "SpatialSpark"
+    memory_expansion = 1.0
+    has_global_index = True
+    supports_st = False
+    supports_knn = False
+
+    def _build_local_index(self, partition, job: SimJob):
+        bounds = Envelope.union_all([i.envelope for i in partition])
+        grid = GridIndex(bounds, cols=8, rows=8)
+        for item in partition:
+            grid.insert(item.envelope, item)
+        return grid

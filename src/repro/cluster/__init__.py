@@ -1,0 +1,14 @@
+"""Deterministic cluster cost model.
+
+The paper's testbed is a 5-node cluster (8-core CPU, 32 GB RAM, 1 TB disk
+per node).  This package replaces the wall clock of that cluster with a
+deterministic model: components meter bytes and operations while executing
+for real, and the model converts the meters into *simulated milliseconds*.
+All "querying time"/"indexing time" numbers in the benchmark harness are
+simulated milliseconds, so figure shapes are reproducible on any host.
+"""
+
+from repro.cluster.simclock import CostModel, SimJob
+from repro.cluster.node import Cluster
+
+__all__ = ["CostModel", "SimJob", "Cluster"]

@@ -1,0 +1,47 @@
+"""The simulated cluster: servers, memory budget, job factory."""
+
+from __future__ import annotations
+
+from repro.cluster.simclock import CostModel, SimJob
+from repro.errors import SimulatedOutOfMemoryError
+
+_GB = 1024 ** 3
+
+
+class Cluster:
+    """A fixed pool of nodes with a shared memory budget.
+
+    The paper's Spark-based baselines cache entire datasets (plus index
+    overhead) in cluster memory; systems exceeding ``memory_budget_bytes``
+    raise :class:`SimulatedOutOfMemoryError`, reproducing the OOM failures
+    reported in Section VIII without exhausting host RAM.
+    """
+
+    def __init__(self, num_servers: int = 5,
+                 memory_budget_bytes: int = 5 * 32 * _GB,
+                 model: CostModel | None = None):
+        self.num_servers = num_servers
+        self.memory_budget_bytes = memory_budget_bytes
+        self.model = model if model is not None else CostModel()
+        self._reservations: dict[str, int] = {}
+
+    def job(self) -> SimJob:
+        """Start a fresh simulated-time accumulator."""
+        return SimJob(self.model, self.num_servers)
+
+    # -- memory accounting ---------------------------------------------------
+    @property
+    def memory_in_use(self) -> int:
+        return sum(self._reservations.values())
+
+    def reserve_memory(self, owner: str, nbytes: int) -> None:
+        """Claim cluster memory; raises simulated OOM when over budget."""
+        current = self._reservations.get(owner, 0)
+        required = self.memory_in_use - current + nbytes
+        if required > self.memory_budget_bytes:
+            raise SimulatedOutOfMemoryError(owner, required,
+                                            self.memory_budget_bytes)
+        self._reservations[owner] = nbytes
+
+    def release_memory(self, owner: str) -> None:
+        self._reservations.pop(owner, None)

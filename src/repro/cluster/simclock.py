@@ -1,0 +1,154 @@
+"""Cost model and per-job simulated clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kvstore.iostats import IOSnapshot
+
+_MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Latency/throughput parameters of the simulated cluster.
+
+    Defaults are calibrated to the paper's testbed class: spinning-disk
+    sequential reads, gigabit interconnect, and the constant overheads the
+    paper attributes to each architecture (Spark driver round-trip for
+    JUST, full MapReduce job launch for the Hadoop systems).
+    """
+
+    #: Sequential disk read bandwidth per region server.
+    disk_read_mb_s: float = 150.0
+    #: Sequential disk write bandwidth per server.
+    disk_write_mb_s: float = 100.0
+    #: In-memory scan bandwidth per node (RDD/DataFrame traversal).
+    memory_scan_mb_s: float = 4000.0
+    #: Network bandwidth for shipping results to the driver.
+    network_mb_s: float = 120.0
+    #: Cost of initiating one range SCAN (RPC + seek).
+    seek_ms: float = 1.5
+    #: Fixed per-query driver overhead with a shared Spark context (JUST).
+    query_overhead_ms: float = 150.0
+    #: Fixed cost of launching a MapReduce job (SpatialHadoop/ST-Hadoop).
+    mapreduce_job_ms: float = 9000.0
+    #: Fixed cost of a Spark stage over an in-memory RDD.
+    spark_stage_ms: float = 80.0
+    #: Per-record CPU cost of deserializing + filtering one row.
+    cpu_us_per_record: float = 2.0
+    #: Per-record CPU cost of building an in-memory index entry.
+    index_build_us_per_record: float = 6.0
+    #: Per-cell cost of an HBase put (RPC + WAL append + memstore insert);
+    #: this is why JUST indexes Order slower than the Spark systems cache
+    #: it (Figure 10c) — ingest writes through to the store.
+    kv_put_us: float = 30.0
+    #: Calibration factor for data-proportional work (bytes and records).
+    #: The benchmark harness runs datasets ~10^4 times smaller than the
+    #: paper's; setting ``work_scale`` to paper_raw_bytes/our_raw_bytes
+    #: restores the paper's balance between fixed costs (job launches,
+    #: driver round-trips, seeks — unscaled) and data-volume costs, so
+    #: figure shapes and crossovers are preserved.  Fixed costs are NOT
+    #: scaled.  Defaults to 1.0 (no scaling) for library use.
+    work_scale: float = 1.0
+    #: Separate calibration for per-record CPU work.  Row counts shrink
+    #: less than byte volumes when scaling a dataset down (rows keep their
+    #: width), so record-proportional costs get their own factor.  ``None``
+    #: falls back to ``work_scale``.
+    record_scale: float | None = None
+
+    @property
+    def effective_record_scale(self) -> float:
+        return self.record_scale if self.record_scale is not None \
+            else self.work_scale
+
+    def disk_read_ms(self, nbytes: int) -> float:
+        return nbytes * self.work_scale / _MB / self.disk_read_mb_s \
+            * 1000.0
+
+    def disk_write_ms(self, nbytes: int) -> float:
+        return nbytes * self.work_scale / _MB / self.disk_write_mb_s \
+            * 1000.0
+
+    def memory_scan_ms(self, nbytes: int) -> float:
+        return nbytes * self.work_scale / _MB / self.memory_scan_mb_s \
+            * 1000.0
+
+    def network_ms(self, nbytes: int) -> float:
+        return nbytes * self.work_scale / _MB / self.network_mb_s \
+            * 1000.0
+
+
+@dataclass
+class SimJob:
+    """Accumulates simulated time for one logical job (query, load, ...).
+
+    Components call the ``charge_*`` methods; ``elapsed_ms`` is the final
+    simulated latency.  Parallel work across servers is charged as the
+    maximum per-server time (the straggler), matching how a scatter/gather
+    query completes.
+    """
+
+    model: CostModel
+    num_servers: int = 5
+    elapsed_ms: float = 0.0
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def _add(self, label: str, ms: float) -> None:
+        self.elapsed_ms += ms
+        self.breakdown[label] = self.breakdown.get(label, 0.0) + ms
+
+    def charge_fixed(self, label: str, ms: float) -> None:
+        """An architecture-constant cost (job startup, driver overhead)."""
+        self._add(label, ms)
+
+    def charge_store_scan(self, delta: IOSnapshot,
+                          num_ranges: int = 1) -> None:
+        """Charge a key-value store scatter/gather scan.
+
+        ``delta`` is the I/O counter increment attributable to this scan.
+        Disk reads proceed in parallel on each region server; seeks are
+        spread across servers; results stream back over the network.
+        """
+        if delta.per_server_read:
+            slowest = max(delta.per_server_read.values())
+        else:
+            slowest = delta.disk_bytes_read
+        self._add("disk_read", self.model.disk_read_ms(slowest))
+        seeks = -(-num_ranges // max(1, self.num_servers))  # ceil division
+        self._add("seek", seeks * self.model.seek_ms)
+        self._add("cache_read",
+                  self.model.memory_scan_ms(delta.cache_bytes_read))
+        # Large results leave region servers in parallel via the HDFS
+        # spill path of Figure 2 (not through one driver link), so the
+        # transfer is divided across servers.
+        self._add("network",
+                  self.model.network_ms(delta.result_bytes)
+                  / max(1, self.num_servers))
+
+    def charge_disk_write(self, nbytes: int, parallel: bool = True) -> None:
+        servers = self.num_servers if parallel else 1
+        self._add("disk_write",
+                  self.model.disk_write_ms(nbytes) / servers)
+
+    def charge_disk_read(self, nbytes: int, parallel: bool = True) -> None:
+        servers = self.num_servers if parallel else 1
+        self._add("disk_read",
+                  self.model.disk_read_ms(nbytes) / servers)
+
+    def charge_memory_scan(self, nbytes: int, parallel: bool = True) -> None:
+        servers = self.num_servers if parallel else 1
+        self._add("memory_scan",
+                  self.model.memory_scan_ms(nbytes) / servers)
+
+    def charge_network(self, nbytes: int) -> None:
+        self._add("network", self.model.network_ms(nbytes))
+
+    def charge_cpu_records(self, count: int,
+                           us_per_record: float | None = None,
+                           parallel: bool = True) -> None:
+        us = us_per_record if us_per_record is not None \
+            else self.model.cpu_us_per_record
+        servers = self.num_servers if parallel else 1
+        scale = self.model.effective_record_scale
+        self._add("cpu", count * scale * us / 1000.0 / servers)

@@ -1,0 +1,68 @@
+"""The meta table (Section IV-D).
+
+The paper stores table metadata in MySQL for transactional updates and
+fast listing; this catalog reproduces that role in-process.  It records,
+per table: kind (common/plugin), schema, index configuration, and creation
+order.  Views are session-level objects and live in the service layer, not
+here — matching the paper, where views vanish when sessions time out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.schema import Schema
+from repro.errors import TableExistsError, TableNotFoundError
+
+
+@dataclass
+class TableMeta:
+    """One row of the meta table."""
+
+    name: str
+    kind: str                      # "common" or "plugin"
+    schema: Schema
+    index_names: list[str]
+    plugin_type: str | None = None
+    userdata: dict = field(default_factory=dict)
+    sequence: int = 0
+
+
+class Catalog:
+    """CRUD over table metadata with unique-name enforcement."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableMeta] = {}
+        self._sequence = itertools.count(1)
+
+    def create(self, meta: TableMeta) -> None:
+        if meta.name in self._tables:
+            raise TableExistsError(meta.name)
+        meta.sequence = next(self._sequence)
+        self._tables[meta.name] = meta
+
+    def drop(self, name: str) -> TableMeta:
+        try:
+            return self._tables.pop(name)
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def get(self, name: str) -> TableMeta:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._tables
+
+    def list_tables(self, prefix: str = "") -> list[TableMeta]:
+        """Metadata rows sorted by creation order (SHOW TABLES)."""
+        rows = [m for m in self._tables.values()
+                if m.name.startswith(prefix)]
+        return sorted(rows, key=lambda m: m.sequence)
+
+    def describe(self, name: str) -> list[dict]:
+        """Field rows for DESC TABLE."""
+        return self.get(name).schema.describe()

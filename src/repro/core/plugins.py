@@ -1,0 +1,188 @@
+"""Plugin tables (Section IV-D): predefined schemas + implicit ``item``.
+
+A plugin table fixes the storage schema and default indexes for a known
+data structure so applications reuse it instead of redefining it.  Rows of
+a plugin table are complete entities: the implicit ``item`` field
+materializes the whole object (here a :class:`Trajectory`) so analysis
+operations such as map matching can consume it directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.schema import Field, FieldType, Schema
+from repro.core.tables import CommonTable
+from repro.cluster.simclock import SimJob
+from repro.errors import SchemaError
+from repro.geometry.base import Geometry
+from repro.geometry.point import Point
+from repro.trajectory.model import STSeries, Trajectory
+
+#: Fields of the trajectory plugin table (Figure 6): MBR and endpoints are
+#: derivable from the GPS list, so storage keeps identity, time extent and
+#: the (compressed) GPS list, plus the start/end points the figure shows.
+TRAJECTORY_SCHEMA = Schema([
+    Field("tid", FieldType.STRING, primary_key=True),
+    Field("oid", FieldType.STRING),
+    Field("start_time", FieldType.DATE),
+    Field("end_time", FieldType.DATE),
+    Field("start_point", FieldType.POINT),
+    Field("end_point", FieldType.POINT),
+    Field("gps_list", FieldType.ST_SERIES, compress="gzip"),
+])
+
+
+class TrajectoryPlugin(CommonTable):
+    """The ``CREATE TABLE <name> AS trajectory`` plugin table.
+
+    Ships with a secondary attribute index on ``oid`` so the
+    TrajMesa-style ID query ("all trajectories of lorry X") is an index
+    scan rather than a full scan.
+    """
+
+    kind = "plugin"
+    plugin_type = "trajectory"
+
+    def __init__(self, name, store, strategies,
+                 compression_enabled: bool = True,
+                 attribute_fields: list[str] | None = None):
+        super().__init__(name, TRAJECTORY_SCHEMA, store, strategies,
+                         compression_enabled,
+                         attribute_fields=attribute_fields
+                         if attribute_fields is not None else ["oid"])
+
+    def trajectories_of(self, oid: str, job=None) -> list[dict]:
+        """All trajectories of one moving object (the ID query)."""
+        return self.attribute_query("oid", oid, job)
+
+    # The index-relevant geometry is the GPS polyline, not a stored column.
+    def record_geometry(self, row: dict) -> Geometry | None:
+        series: STSeries | None = row.get("gps_list")
+        if series is None or len(series) == 0:
+            return None
+        if len(series) == 1:
+            p = series[0]
+            return Point(p.lng, p.lat)
+        return series.as_linestring()
+
+    def record_time_extent(self, row: dict) -> tuple[float, float] | None:
+        start = row.get("start_time")
+        end = row.get("end_time")
+        if start is None or end is None:
+            return None
+        return (float(start), float(end))
+
+    def record_envelope(self, row: dict):
+        """The GPS list's cached MBR, without building a LineString."""
+        series = row.get("gps_list")
+        if series is None or len(series) == 0:
+            return None
+        return series.envelope
+
+    def decorate_row(self, row: dict) -> dict:
+        """Attach the implicit ``item`` field: the full Trajectory."""
+        series = row.get("gps_list")
+        if series is not None:
+            row = dict(row)
+            row["item"] = Trajectory(row["tid"], row.get("oid") or "",
+                                     series)
+        return row
+
+    def columns(self) -> list[str]:
+        return self.schema.names + ["item"]
+
+    # -- convenience API ------------------------------------------------------
+    @staticmethod
+    def row_of(trajectory: Trajectory) -> dict:
+        """The storage row for a trajectory entity."""
+        series = trajectory.series
+        start, end = series.points[0], series.points[-1]
+        return {
+            "tid": trajectory.tid,
+            "oid": trajectory.oid,
+            "start_time": trajectory.start_time,
+            "end_time": trajectory.end_time,
+            "start_point": Point(start.lng, start.lat),
+            "end_point": Point(end.lng, end.lat),
+            "gps_list": series,
+        }
+
+    def insert_trajectories(self, trajectories: list[Trajectory],
+                            job: SimJob | None = None) -> int:
+        return self.insert_rows([self.row_of(t) for t in trajectories], job)
+
+
+#: Fields of the geofence plugin table: a polygon with a validity window
+#: (Section IX future work #2 — "more spatio-temporal data types as
+#: plugin tables").  Urban geofences back delivery zones, no-parking
+#: areas, and event perimeters; XZ2T over (area, valid_from..valid_to)
+#: answers "which fences applied here, then".
+GEOFENCE_SCHEMA = Schema([
+    Field("gid", FieldType.STRING, primary_key=True),
+    Field("name", FieldType.STRING),
+    Field("category", FieldType.STRING),
+    Field("valid_from", FieldType.DATE),
+    Field("valid_to", FieldType.DATE),
+    Field("area", FieldType.POLYGON),
+])
+
+
+class GeofencePlugin(CommonTable):
+    """The ``CREATE TABLE <name> AS geofence`` plugin table."""
+
+    kind = "plugin"
+    plugin_type = "geofence"
+
+    def __init__(self, name, store, strategies,
+                 compression_enabled: bool = True,
+                 attribute_fields: list[str] | None = None):
+        super().__init__(name, GEOFENCE_SCHEMA, store, strategies,
+                         compression_enabled,
+                         attribute_fields=attribute_fields
+                         if attribute_fields is not None
+                         else ["category"])
+
+    def record_time_extent(self, row: dict) -> tuple[float, float] | None:
+        valid_from = row.get("valid_from")
+        valid_to = row.get("valid_to")
+        if valid_from is None or valid_to is None:
+            return None
+        return (float(valid_from), float(valid_to))
+
+    def decorate_row(self, row: dict) -> dict:
+        """Attach the implicit ``item``: the fence polygon itself."""
+        if row.get("area") is not None:
+            row = dict(row)
+            row["item"] = row["area"]
+        return row
+
+    def columns(self) -> list[str]:
+        return self.schema.names + ["item"]
+
+    def active_fences(self, lng: float, lat: float, at_time: float,
+                      job=None) -> list[dict]:
+        """Fences whose polygon contains the point and whose validity
+        window covers ``at_time`` (the geofencing hit test)."""
+        from repro.curves.strategies import STQuery
+        from repro.geometry.envelope import Envelope
+        probe = STQuery(Envelope.of_point(lng, lat).buffer(1e-9, 1e-9),
+                        at_time, at_time)
+        hits = self.query(probe, predicate="intersects", job=job)
+        return [row for row in hits
+                if row["area"].contains_point(lng, lat)]
+
+
+#: Registry of plugin table types by JustQL name.
+PLUGIN_TYPES: dict[str, type] = {
+    "trajectory": TrajectoryPlugin,
+    "geofence": GeofencePlugin,
+}
+
+
+def plugin_class(name: str) -> type:
+    try:
+        return PLUGIN_TYPES[name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(PLUGIN_TYPES))
+        raise SchemaError(
+            f"unknown plugin table type {name!r}; expected one of {valid}"
+        ) from None

@@ -1,0 +1,218 @@
+"""XZ-ordering for extended (non-point) objects.
+
+XZ-ordering (Böhm et al., SSD 1999) assigns an object to the largest
+quad-tree cell whose *enlarged* square (the cell doubled in width and
+height, anchored at the cell's lower-left corner) still contains the
+object's MBR.  Each cell is identified by a sequence code laid out so that
+a cell's code immediately precedes all of its descendants' codes — a scan
+over a code interval therefore covers a whole subtree.
+
+``XZ2Curve`` is the 2D variant (Figure 3f of the paper); ``XZ3Curve`` adds
+the normalized time-within-period axis and is the index the paper's
+JUSTd/JUSTy/JUSTc variants use for trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.errors import IndexError_
+from repro.geometry.envelope import Envelope
+
+DEFAULT_MAX_RANGES = 256
+
+
+def _merge_ranges(ranges: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    if not ranges:
+        return []
+    ranges.sort()
+    merged = [ranges[0]]
+    for lo, hi in ranges[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi + 1:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class _XZBase:
+    """Shared machinery for XZ curves of any dimensionality."""
+
+    def __init__(self, g: int, dims: int):
+        if g < 1:
+            raise IndexError_("XZ resolution g must be >= 1")
+        self.g = g
+        self.dims = dims
+        self._fanout = 1 << dims  # 4 for XZ2, 8 for XZ3
+
+    def _subtree_size(self, level: int) -> int:
+        """Codes owned by a cell at ``level`` including itself."""
+        f = self._fanout
+        return (f ** (self.g - level + 1) - 1) // (f - 1)
+
+    def _child_step(self, level: int) -> int:
+        """Code distance between sibling children of a cell at ``level``."""
+        f = self._fanout
+        return (f ** (self.g - level) - 1) // (f - 1)
+
+    def max_code(self) -> int:
+        """Largest sequence code the curve can produce."""
+        return self._subtree_size(0) - 1
+
+    # -- element length ----------------------------------------------------
+    def _element_length(self, mins: list[float], spans: list[float]) -> int:
+        """Number of quadrant digits for an object with the given extents.
+
+        This is the l(s) of the XZ-ordering paper: the deepest level whose
+        enlarged cell (side ``2 * 0.5^l``) can contain the object.
+        """
+        max_span = max(spans)
+        if max_span <= 0.0:
+            return self.g
+        l1 = int(math.floor(math.log(max_span) / math.log(0.5)))
+        if l1 >= self.g:
+            return self.g
+        if l1 < 0:
+            return 0
+        # Check whether the object still fits an enlarged cell one level
+        # deeper (the object may straddle a cell boundary).
+        w2 = 0.5 ** (l1 + 1)
+
+        def fits(lo: float, hi: float) -> bool:
+            return hi <= math.floor(lo / w2) * w2 + 2.0 * w2
+
+        deeper_fits = all(fits(lo, lo + span)
+                          for lo, span in zip(mins, spans))
+        return min(self.g, l1 + 1 if deeper_fits else l1)
+
+    def _sequence_code(self, mins: list[float], length: int) -> int:
+        """Code of the cell reached by ``length`` quadrant steps."""
+        cell_lo = [0.0] * self.dims
+        cell_hi = [1.0] * self.dims
+        cs = 0
+        for i in range(length):
+            step = self._child_step(i)
+            quadrant = 0
+            for d in range(self.dims):
+                center = (cell_lo[d] + cell_hi[d]) / 2.0
+                if mins[d] < center:
+                    cell_hi[d] = center
+                else:
+                    quadrant |= 1 << d
+                    cell_lo[d] = center
+            cs += 1 + quadrant * step
+        return cs
+
+    def _index_normalized(self, mins: list[float],
+                          maxs: list[float]) -> int:
+        for lo, hi in zip(mins, maxs):
+            if hi < lo:
+                raise IndexError_("XZ element with inverted bounds")
+        spans = [hi - lo for lo, hi in zip(mins, maxs)]
+        length = self._element_length(mins, spans)
+        return self._sequence_code(mins, length)
+
+    # -- query ranges ------------------------------------------------------
+    def _ranges_normalized(self, q_lo: list[float], q_hi: list[float],
+                           max_ranges: int) -> list[tuple[int, int]]:
+        """Covering code ranges for a normalized query box.
+
+        A cell's *extended* square is its own square doubled in each
+        dimension.  Every descendant's extended square lies inside the
+        parent's extended square, so pruning on the extended square is
+        exact for whole subtrees.
+        """
+        ranges: list[tuple[int, int]] = []
+        # queue entries: (level, cell lower corner per dim, cell code)
+        queue: deque[tuple[int, list[float], int]] = deque()
+        queue.append((0, [0.0] * self.dims, 0))
+
+        while queue:
+            level, lo, cs = queue.popleft()
+            width = 0.5 ** level
+            ext_hi = [lo[d] + 2.0 * width for d in range(self.dims)]
+            intersects = all(lo[d] <= q_hi[d] and ext_hi[d] >= q_lo[d]
+                             for d in range(self.dims))
+            if not intersects:
+                continue
+            contained = all(lo[d] >= q_lo[d] and ext_hi[d] <= q_hi[d]
+                            for d in range(self.dims))
+            budget_left = max_ranges - len(ranges) - len(queue)
+            if contained or level == self.g or budget_left <= 0:
+                ranges.append((cs, cs + self._subtree_size(level) - 1))
+                continue
+            # The element stored exactly at this cell may intersect the
+            # query even when no single child subtree fully covers it.
+            ranges.append((cs, cs))
+            step = self._child_step(level)
+            child_width = width / 2.0
+            for quadrant in range(self._fanout):
+                child_lo = [lo[d] + (child_width if quadrant & (1 << d)
+                                     else 0.0)
+                            for d in range(self.dims)]
+                queue.append((level + 1, child_lo, cs + 1 + quadrant * step))
+
+        return _merge_ranges(ranges)
+
+
+class XZ2Curve(_XZBase):
+    """XZ-ordering over 2D envelopes, resolution ``g`` (default 12)."""
+
+    def __init__(self, g: int = 12):
+        super().__init__(g, dims=2)
+
+    @staticmethod
+    def _normalize(envelope: Envelope) -> tuple[list[float], list[float]]:
+        return ([(envelope.min_lng + 180.0) / 360.0,
+                 (envelope.min_lat + 90.0) / 180.0],
+                [(envelope.max_lng + 180.0) / 360.0,
+                 (envelope.max_lat + 90.0) / 180.0])
+
+    def index(self, envelope: Envelope) -> int:
+        """Sequence code of an object's MBR (XZ2 of the paper)."""
+        mins, maxs = self._normalize(envelope)
+        return self._index_normalized(mins, maxs)
+
+    def ranges(self, query: Envelope,
+               max_ranges: int = DEFAULT_MAX_RANGES) -> list[tuple[int, int]]:
+        """Covering code ranges for a rectangular spatial query."""
+        mins, maxs = self._normalize(query)
+        return self._ranges_normalized(mins, maxs, max_ranges)
+
+
+class XZ3Curve(_XZBase):
+    """XZ-ordering over space-time boxes, resolution ``g`` (default 8).
+
+    The time axis is the fraction of a time period, so one ``XZ3Curve``
+    instance serves every period.  Objects whose duration exceeds one
+    period are clamped to the period end; the strategy layer compensates by
+    also scanning the preceding period at query time.
+    """
+
+    def __init__(self, g: int = 8):
+        super().__init__(g, dims=3)
+
+    @staticmethod
+    def _normalize(envelope: Envelope, t_lo: float,
+                   t_hi: float) -> tuple[list[float], list[float]]:
+        return ([(envelope.min_lng + 180.0) / 360.0,
+                 (envelope.min_lat + 90.0) / 180.0,
+                 max(0.0, min(1.0, t_lo))],
+                [(envelope.max_lng + 180.0) / 360.0,
+                 (envelope.max_lat + 90.0) / 180.0,
+                 max(0.0, min(1.0, t_hi))])
+
+    def index(self, envelope: Envelope, t_lo_fraction: float,
+              t_hi_fraction: float) -> int:
+        """Sequence code of a space-time MBR within one period."""
+        mins, maxs = self._normalize(envelope, t_lo_fraction, t_hi_fraction)
+        return self._index_normalized(mins, maxs)
+
+    def ranges(self, query: Envelope, t_lo_fraction: float,
+               t_hi_fraction: float,
+               max_ranges: int = DEFAULT_MAX_RANGES) -> list[tuple[int, int]]:
+        """Covering code ranges for a space-time query within one period."""
+        mins, maxs = self._normalize(query, t_lo_fraction, t_hi_fraction)
+        return self._ranges_normalized(mins, maxs, max_ranges)

@@ -1,0 +1,30 @@
+"""A small partitioned DataFrame engine (the Spark SQL substitute).
+
+The SQL layer pushes spatio-temporal predicates into key-value store scans
+and runs everything else — projections, residual filters, aggregates,
+sorts, joins — on these DataFrames.  A DataFrame is a list of row
+partitions; operations produce new DataFrames and never mutate rows in
+place.  Rows are plain ``dict`` objects keyed by column name.
+"""
+
+from repro.dataframe.dataframe import DataFrame
+from repro.dataframe.functions import (
+    AggregateSpec,
+    agg_avg,
+    agg_count,
+    agg_collect,
+    agg_max,
+    agg_min,
+    agg_sum,
+)
+
+__all__ = [
+    "DataFrame",
+    "AggregateSpec",
+    "agg_avg",
+    "agg_count",
+    "agg_collect",
+    "agg_max",
+    "agg_min",
+    "agg_sum",
+]

@@ -1,0 +1,251 @@
+"""The partitioned DataFrame."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.dataframe.functions import AggregateSpec
+from repro.errors import ExecutionError
+
+DEFAULT_PARTITIONS = 8
+
+Row = dict
+
+
+class DataFrame:
+    """An immutable, partitioned collection of ``dict`` rows.
+
+    ``columns`` is the declared output schema; rows may omit columns (the
+    value reads as ``None``) but must not carry extras after a
+    ``select``.  Operations return new DataFrames; partitioning is
+    preserved where the operation allows and rebalanced otherwise.
+    """
+
+    def __init__(self, partitions: list[list[Row]], columns: list[str]):
+        self._partitions = partitions
+        self.columns = list(columns)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Iterable[Row], columns: list[str] | None = None,
+                  num_partitions: int = DEFAULT_PARTITIONS) -> "DataFrame":
+        """Build a DataFrame, hashing rows round-robin into partitions."""
+        rows = list(rows)
+        if columns is None:
+            columns = list(rows[0].keys()) if rows else []
+        num_partitions = max(1, num_partitions)
+        partitions: list[list[Row]] = [[] for _ in range(num_partitions)]
+        for i, row in enumerate(rows):
+            partitions[i % num_partitions].append(row)
+        return cls(partitions, columns)
+
+    @classmethod
+    def empty(cls, columns: list[str]) -> "DataFrame":
+        return cls([[]], columns)
+
+    # -- basic accessors -------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def iter_rows(self) -> Iterator[Row]:
+        for partition in self._partitions:
+            yield from partition
+
+    def collect(self) -> list[Row]:
+        """All rows as a list (the driver-side materialization)."""
+        return list(self.iter_rows())
+
+    def count(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    def first(self) -> Row | None:
+        for row in self.iter_rows():
+            return row
+        return None
+
+    def column_values(self, column: str) -> list[object]:
+        return [row.get(column) for row in self.iter_rows()]
+
+    # -- row-wise transformations ------------------------------------------------
+    def select(self, columns: list[str]) -> "DataFrame":
+        """Keep only ``columns`` (missing values become ``None``)."""
+        unknown = [c for c in columns if c not in self.columns]
+        if unknown:
+            raise ExecutionError(f"unknown columns in select: {unknown}")
+        parts = [[{c: row.get(c) for c in columns} for row in p]
+                 for p in self._partitions]
+        return DataFrame(parts, columns)
+
+    def where(self, predicate: Callable[[Row], bool]) -> "DataFrame":
+        parts = [[row for row in p if predicate(row)]
+                 for p in self._partitions]
+        return DataFrame(parts, self.columns)
+
+    def with_column(self, name: str,
+                    fn: Callable[[Row], object]) -> "DataFrame":
+        """Add or replace a column computed per row."""
+        parts = [[{**row, name: fn(row)} for row in p]
+                 for p in self._partitions]
+        columns = self.columns if name in self.columns \
+            else self.columns + [name]
+        return DataFrame(parts, columns)
+
+    def map_rows(self, fn: Callable[[Row], Row],
+                 columns: list[str]) -> "DataFrame":
+        """1-1 transformation to a new row shape."""
+        parts = [[fn(row) for row in p] for p in self._partitions]
+        return DataFrame(parts, columns)
+
+    def flat_map(self, fn: Callable[[Row], Iterable[Row]],
+                 columns: list[str]) -> "DataFrame":
+        """1-N transformation (the engine's 1-N analysis operations)."""
+        parts = []
+        for p in self._partitions:
+            out: list[Row] = []
+            for row in p:
+                out.extend(fn(row))
+            parts.append(out)
+        return DataFrame(parts, columns)
+
+    def map_partitions(self, fn: Callable[[list[Row]], list[Row]],
+                       columns: list[str]) -> "DataFrame":
+        """Partition-wise transformation (N-M analysis operations)."""
+        return DataFrame([fn(list(p)) for p in self._partitions], columns)
+
+    # -- global operations -------------------------------------------------------
+    def distinct(self) -> "DataFrame":
+        """Deduplicate rows on the full column tuple (a shuffle)."""
+        seen = set()
+        out = []
+        for row in self.iter_rows():
+            key = tuple(row.get(c) for c in self.columns)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return DataFrame.from_rows(out, self.columns,
+                                   len(self._partitions))
+
+    def order_by(self, keys: list[str],
+                 ascending: list[bool] | None = None) -> "DataFrame":
+        """Global sort; the result has a single ordered partition."""
+        if ascending is None:
+            ascending = [True] * len(keys)
+        rows = self.collect()
+        # Stable multi-key sort: apply keys right-to-left.
+        for key, asc in reversed(list(zip(keys, ascending))):
+            rows.sort(key=lambda r: _sort_key(r.get(key)), reverse=not asc)
+        return DataFrame([rows], self.columns)
+
+    def limit(self, n: int) -> "DataFrame":
+        rows = []
+        for row in self.iter_rows():
+            if len(rows) >= n:
+                break
+            rows.append(row)
+        return DataFrame([rows], self.columns)
+
+    def union(self, other: "DataFrame") -> "DataFrame":
+        if self.columns != other.columns:
+            raise ExecutionError(
+                f"union of incompatible schemas: {self.columns} vs "
+                f"{other.columns}")
+        return DataFrame(self._partitions + other._partitions, self.columns)
+
+    def group_by(self, keys: list[str],
+                 aggregates: list[AggregateSpec]) -> "DataFrame":
+        """Hash aggregation; one output row per distinct key tuple."""
+        unknown = [k for k in keys if k not in self.columns]
+        if unknown:
+            raise ExecutionError(f"unknown group keys: {unknown}")
+        groups: dict[tuple, list[object]] = {}
+        for row in self.iter_rows():
+            key = tuple(row.get(k) for k in keys)
+            if key not in groups:
+                groups[key] = [spec.seed() for spec in aggregates]
+            accs = groups[key]
+            for i, spec in enumerate(aggregates):
+                value = row if spec.column is None else row.get(spec.column)
+                accs[i] = spec.step(accs[i], value)
+        columns = list(keys) + [spec.output for spec in aggregates]
+        out = []
+        for key, accs in groups.items():
+            row = dict(zip(keys, key))
+            for spec, acc in zip(aggregates, accs):
+                row[spec.output] = spec.final(acc)
+            out.append(row)
+        return DataFrame.from_rows(out, columns,
+                                   max(1, len(self._partitions)))
+
+    def join(self, other: "DataFrame", on: list[str],
+             how: str = "inner") -> "DataFrame":
+        """Hash join on equality of the ``on`` columns."""
+        if how not in ("inner", "left"):
+            raise ExecutionError(f"unsupported join type: {how}")
+        build: dict[tuple, list[Row]] = {}
+        for row in other.iter_rows():
+            build.setdefault(tuple(row.get(k) for k in on), []).append(row)
+        extra = [c for c in other.columns if c not in self.columns]
+        columns = self.columns + extra
+        out = []
+        for row in self.iter_rows():
+            key = tuple(row.get(k) for k in on)
+            matches = build.get(key, [])
+            if matches:
+                for match in matches:
+                    merged = dict(row)
+                    for c in extra:
+                        merged[c] = match.get(c)
+                    out.append(merged)
+            elif how == "left":
+                merged = dict(row)
+                for c in extra:
+                    merged[c] = None
+                out.append(merged)
+        return DataFrame.from_rows(out, columns, self.num_partitions)
+
+    def repartition(self, num_partitions: int) -> "DataFrame":
+        return DataFrame.from_rows(self.collect(), self.columns,
+                                   num_partitions)
+
+    # -- sizing --------------------------------------------------------------
+    def estimated_bytes(self) -> int:
+        """Rough in-memory footprint used for cost accounting."""
+        total = 0
+        for row in self.iter_rows():
+            total += 64  # row object overhead
+            for value in row.values():
+                if isinstance(value, (str, bytes)):
+                    total += len(value) + 48
+                else:
+                    total += 32
+        return total
+
+    def __repr__(self) -> str:
+        return (f"DataFrame(columns={self.columns}, rows={self.count()}, "
+                f"partitions={self.num_partitions})")
+
+
+class _AlwaysLast:
+    """Sorts after every comparable value (NULLS LAST semantics)."""
+
+    __slots__ = ()
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __gt__(self, other) -> bool:
+        return not isinstance(other, _AlwaysLast)
+
+
+_ALWAYS_LAST = _AlwaysLast()
+
+
+def _sort_key(value):
+    if value is None:
+        return (2, _ALWAYS_LAST)
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))

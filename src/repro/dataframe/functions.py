@@ -1,0 +1,83 @@
+"""Aggregate function specifications for DataFrame.group_by."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateSpec:
+    """One output column of a grouped aggregation.
+
+    ``seed``/``step``/``final`` form a fold: ``final(reduce(step, values,
+    seed()))``.  ``column`` is the input column; ``None`` means the whole
+    row (only COUNT uses that).
+    """
+
+    output: str
+    column: str | None
+    seed: Callable[[], object]
+    step: Callable[[object, object], object]
+    final: Callable[[object], object]
+
+
+def agg_count(output: str = "count") -> AggregateSpec:
+    """COUNT(*) over the group."""
+    return AggregateSpec(output, None,
+                         seed=lambda: 0,
+                         step=lambda acc, _row: acc + 1,
+                         final=lambda acc: acc)
+
+
+def agg_sum(column: str, output: str | None = None) -> AggregateSpec:
+    """SUM(column), ignoring NULLs."""
+    return AggregateSpec(output or f"sum_{column}", column,
+                         seed=lambda: 0,
+                         step=lambda acc, v: acc if v is None else acc + v,
+                         final=lambda acc: acc)
+
+
+def agg_min(column: str, output: str | None = None) -> AggregateSpec:
+    """MIN(column), ignoring NULLs."""
+    def step(acc, v):
+        if v is None:
+            return acc
+        return v if acc is None or v < acc else acc
+    return AggregateSpec(output or f"min_{column}", column,
+                         seed=lambda: None, step=step,
+                         final=lambda acc: acc)
+
+
+def agg_max(column: str, output: str | None = None) -> AggregateSpec:
+    """MAX(column), ignoring NULLs."""
+    def step(acc, v):
+        if v is None:
+            return acc
+        return v if acc is None or v > acc else acc
+    return AggregateSpec(output or f"max_{column}", column,
+                         seed=lambda: None, step=step,
+                         final=lambda acc: acc)
+
+
+def agg_avg(column: str, output: str | None = None) -> AggregateSpec:
+    """AVG(column), ignoring NULLs; NULL for empty groups."""
+    def step(acc, v):
+        if v is None:
+            return acc
+        total, count = acc
+        return (total + v, count + 1)
+    return AggregateSpec(output or f"avg_{column}", column,
+                         seed=lambda: (0.0, 0),
+                         step=step,
+                         final=lambda acc: acc[0] / acc[1] if acc[1] else None)
+
+
+def agg_collect(column: str, output: str | None = None) -> AggregateSpec:
+    """collect_list(column): group values in encounter order."""
+    def step(acc, v):
+        acc.append(v)
+        return acc
+    return AggregateSpec(output or f"collect_{column}", column,
+                         seed=list, step=step,
+                         final=lambda acc: acc)

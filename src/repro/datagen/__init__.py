@@ -1,0 +1,23 @@
+"""Seeded dataset generators standing in for the paper's JD datasets.
+
+``Traj`` (lorry trajectories, 2014-03), ``Order`` (purchase orders with
+privacy-biased delivery points, 2018-10..11) and ``Synthetic`` (copy &
+sample scale-up of Traj) are generated with the same schema, spatial skew
+and time spans as Table II, at a configurable fraction of the paper's row
+counts so the benchmark harness runs on one machine.
+"""
+
+from repro.datagen.trajgen import TrajectoryGenerator, generate_traj_dataset
+from repro.datagen.ordergen import OrderGenerator, generate_order_dataset
+from repro.datagen.synthetic import generate_synthetic_dataset
+from repro.datagen.datasets import DatasetStats, dataset_statistics
+
+__all__ = [
+    "TrajectoryGenerator",
+    "generate_traj_dataset",
+    "OrderGenerator",
+    "generate_order_dataset",
+    "generate_synthetic_dataset",
+    "DatasetStats",
+    "dataset_statistics",
+]

@@ -1,0 +1,82 @@
+"""Purchase-order generator (the ``Order`` dataset).
+
+Each order is a point record: order id, order time, a delivery address
+point *biased* by a small random offset (the paper's privacy protection),
+plus amount/category attributes.  The spatial distribution is a mixture of
+urban hotspots and background noise; the time span matches Table II:
+2018-10-01 .. 2018-11-30.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.trajgen import AREA
+from repro.geometry.distance import METERS_PER_DEGREE
+from repro.geometry.point import Point
+
+#: Table II time span for Order.
+ORDER_TIME_START = 1538352000.0   # 2018-10-01T00:00Z
+ORDER_TIME_END = 1543536000.0     # 2018-11-30T00:00Z
+
+CATEGORIES = ("electronics", "grocery", "apparel", "books", "home",
+              "beauty", "sports", "toys")
+
+
+class OrderGenerator:
+    """Deterministic generator of order rows."""
+
+    def __init__(self, seed: int = 20181001,
+                 area: tuple[float, float, float, float] = AREA,
+                 time_start: float = ORDER_TIME_START,
+                 time_end: float = ORDER_TIME_END,
+                 num_hotspots: int = 20,
+                 privacy_bias_m: float = 150.0):
+        self.rng = random.Random(seed)
+        self.area = area
+        self.time_start = time_start
+        self.time_end = time_end
+        self.privacy_bias_m = privacy_bias_m
+        self.hotspots = [(self.rng.uniform(area[0], area[2]),
+                          self.rng.uniform(area[1], area[3]),
+                          self.rng.uniform(500.0, 4000.0))
+                         for _ in range(num_hotspots)]
+
+    def _address(self) -> tuple[float, float]:
+        rng = self.rng
+        if rng.random() < 0.8:
+            lng, lat, spread_m = rng.choice(self.hotspots)
+            spread = spread_m / METERS_PER_DEGREE
+            lng += rng.gauss(0.0, spread)
+            lat += rng.gauss(0.0, spread)
+        else:
+            lng = rng.uniform(self.area[0], self.area[2])
+            lat = rng.uniform(self.area[1], self.area[3])
+        # Privacy bias: shift the true address by a bounded random offset.
+        bias = self.privacy_bias_m / METERS_PER_DEGREE
+        lng += rng.uniform(-bias, bias)
+        lat += rng.uniform(-bias, bias)
+        lng = min(max(lng, self.area[0]), self.area[2])
+        lat = min(max(lat, self.area[1]), self.area[3])
+        return lng, lat
+
+    def generate(self, num_orders: int) -> list[dict]:
+        """Order rows ready for a common table with (fid, time, geom)."""
+        rng = self.rng
+        rows = []
+        for i in range(num_orders):
+            lng, lat = self._address()
+            rows.append({
+                "fid": i,
+                "time": rng.uniform(self.time_start, self.time_end),
+                "geom": Point(lng, lat),
+                "amount": round(rng.lognormvariate(3.5, 1.0), 2),
+                "category": rng.choice(CATEGORIES),
+            })
+        return rows
+
+
+def generate_order_dataset(num_orders: int = 30_000,
+                           seed: int = 20181001) -> list[dict]:
+    """The default laptop-scale Order dataset."""
+    return OrderGenerator(seed).generate(num_orders)

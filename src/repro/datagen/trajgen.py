@@ -1,0 +1,139 @@
+"""Lorry trajectory generator (the ``Traj`` dataset).
+
+Trajectories follow a random-waypoint model inside a Beijing-sized
+bounding box: a lorry picks a destination, drives toward it at a noisy
+urban speed, and samples its GPS every ~30 seconds.  Depot hotspots make
+the spatial distribution skewed, as real logistics traces are.  The time
+span matches Table II: 2014-03-01 .. 2014-03-31.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.geometry.distance import METERS_PER_DEGREE
+from repro.trajectory.model import STSeries, Trajectory
+
+#: Beijing-ish bounding box used by all generated datasets.
+AREA = (116.0, 39.6, 116.8, 40.2)
+
+#: Table II time span for Traj: 2014-03-01T00:00Z .. 2014-03-31T00:00Z.
+TRAJ_TIME_START = 1393632000.0
+TRAJ_TIME_END = 1396224000.0
+
+
+class TrajectoryGenerator:
+    """Deterministic generator of lorry-style trajectories."""
+
+    def __init__(self, seed: int = 20140301,
+                 area: tuple[float, float, float, float] = AREA,
+                 time_start: float = TRAJ_TIME_START,
+                 time_end: float = TRAJ_TIME_END,
+                 sample_interval_s: float = 30.0,
+                 num_depots: int = 12,
+                 service_radius_m: float = 3000.0):
+        self.rng = random.Random(seed)
+        self.area = area
+        self.time_start = time_start
+        self.time_end = time_end
+        self.sample_interval_s = sample_interval_s
+        self.service_radius_m = service_radius_m
+        self.depots = [(self.rng.uniform(area[0], area[2]),
+                        self.rng.uniform(area[1], area[3]))
+                       for _ in range(num_depots)]
+
+    def _waypoint(self, center: tuple[float, float]) -> tuple[float, float]:
+        """A destination inside the route's service district.
+
+        Real delivery lorries serve a neighbourhood, not the whole city;
+        keeping waypoints local keeps trajectory MBRs small, which is what
+        makes XZ-indexes (and the paper's range-query selectivities)
+        meaningful.
+        """
+        spread = self.service_radius_m / METERS_PER_DEGREE
+        lng = center[0] + self.rng.gauss(0.0, spread)
+        lat = center[1] + self.rng.gauss(0.0, spread)
+        return (min(max(lng, self.area[0]), self.area[2]),
+                min(max(lat, self.area[1]), self.area[3]))
+
+    def _service_center(self) -> tuple[float, float]:
+        # 70% of routes are anchored near a depot, 30% anywhere.
+        if self.rng.random() < 0.7:
+            depot = self.rng.choice(self.depots)
+            spread = 2000.0 / METERS_PER_DEGREE
+            return (min(max(depot[0] + self.rng.gauss(0.0, spread),
+                            self.area[0]), self.area[2]),
+                    min(max(depot[1] + self.rng.gauss(0.0, spread),
+                            self.area[1]), self.area[3]))
+        return (self.rng.uniform(self.area[0], self.area[2]),
+                self.rng.uniform(self.area[1], self.area[3]))
+
+    def generate_one(self, tid: str, oid: str,
+                     num_points: int) -> Trajectory:
+        """One trajectory with ``num_points`` samples."""
+        rng = self.rng
+        center = self._service_center()
+        lng, lat = self._waypoint(center)
+        start = rng.uniform(self.time_start,
+                            self.time_end
+                            - num_points * self.sample_interval_s)
+        target = self._waypoint(center)
+        speed_mps = rng.uniform(4.0, 16.0)
+        points = []
+        t = start
+        dwell_remaining = 0
+        for _ in range(num_points):
+            points.append((lng, lat, t))
+            if dwell_remaining > 0:
+                # Delivering: stand still (small GPS wobble only).
+                dwell_remaining -= 1
+                jitter = 5.0 / METERS_PER_DEGREE
+                lng = min(max(lng + rng.gauss(0.0, jitter),
+                              self.area[0]), self.area[2])
+                lat = min(max(lat + rng.gauss(0.0, jitter),
+                              self.area[1]), self.area[3])
+                t += self.sample_interval_s * rng.uniform(0.8, 1.2)
+                continue
+            dx = target[0] - lng
+            dy = target[1] - lat
+            distance_deg = math.hypot(dx, dy)
+            if distance_deg * METERS_PER_DEGREE < 100.0:
+                # Arrived: half the stops are deliveries with a dwell.
+                if rng.random() < 0.5:
+                    dwell_remaining = rng.randint(
+                        6, 50)  # ~3..25 min at 30 s sampling
+                target = self._waypoint(center)
+                speed_mps = rng.uniform(4.0, 16.0)
+                dx = target[0] - lng
+                dy = target[1] - lat
+                distance_deg = math.hypot(dx, dy) or 1e-9
+            step_deg = (speed_mps * self.sample_interval_s
+                        / METERS_PER_DEGREE)
+            ratio = min(1.0, step_deg / max(distance_deg, 1e-12))
+            jitter = 15.0 / METERS_PER_DEGREE
+            lng = min(max(lng + dx * ratio + rng.gauss(0.0, jitter),
+                          self.area[0]), self.area[2])
+            lat = min(max(lat + dy * ratio + rng.gauss(0.0, jitter),
+                          self.area[1]), self.area[3])
+            t += self.sample_interval_s * rng.uniform(0.8, 1.2)
+        return Trajectory(tid, oid, STSeries(points))
+
+    def generate(self, num_trajectories: int,
+                 mean_points: int = 280) -> list[Trajectory]:
+        """A full dataset; point counts vary around ``mean_points``."""
+        out = []
+        for i in range(num_trajectories):
+            num_points = max(10, int(self.rng.gauss(mean_points,
+                                                    mean_points * 0.3)))
+            out.append(self.generate_one(f"traj{i}", f"lorry{i % 997}",
+                                         num_points))
+        return out
+
+
+def generate_traj_dataset(num_trajectories: int = 800,
+                          mean_points: int = 250,
+                          seed: int = 20140301) -> list[Trajectory]:
+    """The default laptop-scale Traj dataset."""
+    return TrajectoryGenerator(seed).generate(num_trajectories,
+                                              mean_points)

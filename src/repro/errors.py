@@ -1,0 +1,94 @@
+"""Exception hierarchy for the JUST reproduction.
+
+Every error raised by the engine derives from :class:`JustError` so callers
+can catch engine failures without swallowing programming errors.  The
+simulated cluster additionally raises :class:`SimulatedOutOfMemoryError` when
+a baseline system exceeds its configured memory budget — this models the
+out-of-memory failures the paper reports for the Spark-based systems rather
+than crashing the host interpreter.
+"""
+
+from __future__ import annotations
+
+
+class JustError(Exception):
+    """Base class for all errors raised by the engine."""
+
+
+class SchemaError(JustError):
+    """A table schema is malformed or an operation violates it."""
+
+
+class CatalogError(JustError):
+    """A meta-table operation failed (unknown table, duplicate name, ...)."""
+
+
+class TableNotFoundError(CatalogError):
+    """The referenced table or view does not exist."""
+
+    def __init__(self, name: str):
+        super().__init__(f"table or view not found: {name!r}")
+        self.name = name
+
+
+class TableExistsError(CatalogError):
+    """A table or view with this name already exists."""
+
+    def __init__(self, name: str):
+        super().__init__(f"table or view already exists: {name!r}")
+        self.name = name
+
+
+class ParseError(JustError):
+    """A JustQL statement could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 statement: str | None = None):
+        detail = message
+        if position is not None and statement is not None:
+            snippet = statement[max(0, position - 20):position + 20]
+            detail = f"{message} at position {position}: ...{snippet}..."
+        super().__init__(detail)
+        self.position = position
+        self.statement = statement
+
+
+class AnalysisError(JustError):
+    """Semantic analysis of a parsed statement failed."""
+
+
+class ExecutionError(JustError):
+    """A physical plan failed during execution."""
+
+
+class UnsupportedOperationError(JustError):
+    """The operation is valid SQL but not supported by this engine."""
+
+
+class GeometryError(JustError):
+    """Invalid geometry construction or operation."""
+
+
+class IndexError_(JustError):
+    """An index strategy was asked to encode data it cannot handle."""
+
+
+class SessionError(JustError):
+    """A service-layer session operation failed (expired, unknown user...)."""
+
+
+class SimulatedOutOfMemoryError(JustError):
+    """A simulated system exceeded its cluster memory budget.
+
+    The paper reports e.g. "Simba throws an out of memory exception when the
+    data size of Traj is 40%"; baselines raise this error under the same
+    conditions instead of exhausting host memory.
+    """
+
+    def __init__(self, system: str, required_bytes: int, budget_bytes: int):
+        super().__init__(
+            f"{system}: simulated OOM, requires {required_bytes} bytes "
+            f"but the cluster memory budget is {budget_bytes} bytes")
+        self.system = system
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes

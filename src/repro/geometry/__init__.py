@@ -1,0 +1,45 @@
+"""Lightweight planar geometry library used throughout the engine.
+
+The engine stores longitude/latitude coordinates (WGS84, SRID 4326 by
+default).  Geometries are immutable value objects.  Only the operations the
+paper's query layer needs are implemented: envelopes, containment and
+intersection tests, point/segment distances, WKT round-tripping, and
+coordinate-system transforms.
+"""
+
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+from repro.geometry.linestring import LineString
+from repro.geometry.polygon import Polygon
+from repro.geometry.distance import (
+    euclidean_distance,
+    haversine_distance_m,
+    point_segment_distance,
+    METERS_PER_DEGREE,
+)
+from repro.geometry.wkt import to_wkt, from_wkt
+from repro.geometry.transforms import (
+    wgs84_to_gcj02,
+    gcj02_to_wgs84,
+    gcj02_to_bd09,
+    bd09_to_gcj02,
+)
+
+__all__ = [
+    "Geometry",
+    "Envelope",
+    "Point",
+    "LineString",
+    "Polygon",
+    "euclidean_distance",
+    "haversine_distance_m",
+    "point_segment_distance",
+    "METERS_PER_DEGREE",
+    "to_wkt",
+    "from_wkt",
+    "wgs84_to_gcj02",
+    "gcj02_to_wgs84",
+    "gcj02_to_bd09",
+    "bd09_to_gcj02",
+]

@@ -1,0 +1,39 @@
+"""Abstract geometry interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.geometry.envelope import Envelope
+
+
+class Geometry(ABC):
+    """Base class for all geometry value objects.
+
+    Subclasses are immutable and hashable.  All coordinates are
+    ``(lng, lat)`` pairs in degrees unless stated otherwise.
+    """
+
+    __slots__ = ()
+
+    #: Geometry type name as it appears in WKT, e.g. ``"POINT"``.
+    wkt_name: str = "GEOMETRY"
+
+    @property
+    @abstractmethod
+    def envelope(self) -> "Envelope":
+        """Minimum bounding rectangle of this geometry."""
+
+    @abstractmethod
+    def is_point(self) -> bool:
+        """True when the geometry is point-like (indexed with Z curves)."""
+
+    def intersects_envelope(self, env: "Envelope") -> bool:
+        """True when this geometry's envelope intersects ``env``.
+
+        Subclasses override this with an exact test where cheap; the
+        envelope approximation is always a safe upper bound.
+        """
+        return self.envelope.intersects(env)

@@ -1,0 +1,55 @@
+"""Distance functions.
+
+The paper's k-NN query uses Euclidean distance "for simplicity"; trajectory
+preprocessing (noise filtering, stay points) needs physical metres, for
+which the haversine formula is used.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Approximate metres per degree of latitude (and of longitude at the
+#: equator).  Used to convert kilometre-sized query windows to degrees.
+METERS_PER_DEGREE = 111_320.0
+
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def euclidean_distance(lng1: float, lat1: float,
+                       lng2: float, lat2: float) -> float:
+    """Planar distance in degree units between two coordinates."""
+    dx = lng1 - lng2
+    dy = lat1 - lat2
+    return math.hypot(dx, dy)
+
+
+def haversine_distance_m(lng1: float, lat1: float,
+                         lng2: float, lat2: float) -> float:
+    """Great-circle distance in metres between two WGS84 coordinates."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlmb = math.radians(lng2 - lng1)
+    a = (math.sin(dphi / 2.0) ** 2
+         + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2.0) ** 2)
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def point_segment_distance(px: float, py: float,
+                           ax: float, ay: float,
+                           bx: float, by: float) -> float:
+    """Planar distance from point ``p`` to segment ``ab`` in degree units."""
+    abx, aby = bx - ax, by - ay
+    apx, apy = px - ax, py - ay
+    denom = abx * abx + aby * aby
+    if denom == 0.0:
+        return math.hypot(apx, apy)
+    t = max(0.0, min(1.0, (apx * abx + apy * aby) / denom))
+    cx, cy = ax + t * abx, ay + t * aby
+    return math.hypot(px - cx, py - cy)
+
+
+def km_to_degrees(km: float) -> float:
+    """Convert a kilometre span to an approximate degree span."""
+    return km * 1000.0 / METERS_PER_DEGREE

@@ -1,0 +1,143 @@
+"""Axis-aligned minimum bounding rectangles (MBRs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """An axis-aligned rectangle ``[min_lng, max_lng] x [min_lat, max_lat]``.
+
+    This is the ``st_makeMBR`` object of JustQL and the building block of
+    every spatial predicate in the engine.
+    """
+
+    min_lng: float
+    min_lat: float
+    max_lng: float
+    max_lat: float
+
+    def __post_init__(self) -> None:
+        if self.min_lng > self.max_lng or self.min_lat > self.max_lat:
+            raise GeometryError(
+                f"degenerate envelope: ({self.min_lng}, {self.min_lat}, "
+                f"{self.max_lng}, {self.max_lat})")
+
+    # -- factories ---------------------------------------------------------
+    @classmethod
+    def of_point(cls, lng: float, lat: float) -> "Envelope":
+        """Zero-area envelope around a single coordinate."""
+        return cls(lng, lat, lng, lat)
+
+    @classmethod
+    def world(cls) -> "Envelope":
+        """The whole WGS84 coordinate space."""
+        return cls(-180.0, -90.0, 180.0, 90.0)
+
+    @classmethod
+    def union_all(cls, envelopes: "list[Envelope]") -> "Envelope":
+        """Smallest envelope covering every envelope in ``envelopes``."""
+        if not envelopes:
+            raise GeometryError("union_all of zero envelopes")
+        return cls(
+            min(e.min_lng for e in envelopes),
+            min(e.min_lat for e in envelopes),
+            max(e.max_lng for e in envelopes),
+            max(e.max_lat for e in envelopes),
+        )
+
+    # -- predicates --------------------------------------------------------
+    def contains_point(self, lng: float, lat: float) -> bool:
+        """True when ``(lng, lat)`` lies inside or on the boundary."""
+        return (self.min_lng <= lng <= self.max_lng
+                and self.min_lat <= lat <= self.max_lat)
+
+    def contains(self, other: "Envelope") -> bool:
+        """True when ``other`` lies entirely inside this envelope."""
+        return (self.min_lng <= other.min_lng
+                and self.max_lng >= other.max_lng
+                and self.min_lat <= other.min_lat
+                and self.max_lat >= other.max_lat)
+
+    def intersects(self, other: "Envelope") -> bool:
+        """True when the two rectangles share at least one point."""
+        return not (other.min_lng > self.max_lng
+                    or other.max_lng < self.min_lng
+                    or other.min_lat > self.max_lat
+                    or other.max_lat < self.min_lat)
+
+    def intersection(self, other: "Envelope") -> "Envelope | None":
+        """The shared rectangle, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Envelope(
+            max(self.min_lng, other.min_lng),
+            max(self.min_lat, other.min_lat),
+            min(self.max_lng, other.max_lng),
+            min(self.max_lat, other.max_lat),
+        )
+
+    def expand(self, other: "Envelope") -> "Envelope":
+        """Smallest envelope covering both this and ``other``."""
+        return Envelope(
+            min(self.min_lng, other.min_lng),
+            min(self.min_lat, other.min_lat),
+            max(self.max_lng, other.max_lng),
+            max(self.max_lat, other.max_lat),
+        )
+
+    def buffer(self, delta_lng: float, delta_lat: float) -> "Envelope":
+        """Envelope grown by the given margins on every side."""
+        return Envelope(
+            self.min_lng - delta_lng,
+            self.min_lat - delta_lat,
+            self.max_lng + delta_lng,
+            self.max_lat + delta_lat,
+        )
+
+    # -- measures ----------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.max_lng - self.min_lng
+
+    @property
+    def height(self) -> float:
+        return self.max_lat - self.min_lat
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.min_lng + self.max_lng) / 2.0,
+                (self.min_lat + self.max_lat) / 2.0)
+
+    def min_distance_to_point(self, lng: float, lat: float) -> float:
+        """Minimum planar (degree-space) distance from a point to this box.
+
+        This is the ``dA(q, a)`` of the paper's k-NN Algorithm 1: zero when
+        the point lies inside the rectangle.
+        """
+        import math
+        dx = max(self.min_lng - lng, 0.0, lng - self.max_lng)
+        dy = max(self.min_lat - lat, 0.0, lat - self.max_lat)
+        # math.hypot keeps subnormal distances non-zero where squaring
+        # would underflow to 0.0.
+        return math.hypot(dx, dy)
+
+    def quadrants(self) -> "tuple[Envelope, Envelope, Envelope, Envelope]":
+        """Split into four equal children (SW, SE, NW, NE order)."""
+        cx, cy = self.center
+        return (
+            Envelope(self.min_lng, self.min_lat, cx, cy),
+            Envelope(cx, self.min_lat, self.max_lng, cy),
+            Envelope(self.min_lng, cy, cx, self.max_lat),
+            Envelope(cx, cy, self.max_lng, self.max_lat),
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.min_lng, self.min_lat, self.max_lng, self.max_lat)

@@ -1,0 +1,104 @@
+"""LineString geometry."""
+
+from __future__ import annotations
+
+from repro.errors import GeometryError
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+
+
+def _segments_intersect(p1, p2, p3, p4) -> bool:
+    """Exact test whether segments ``p1p2`` and ``p3p4`` intersect."""
+    def orient(a, b, c):
+        v = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+        if v > 0:
+            return 1
+        if v < 0:
+            return -1
+        return 0
+
+    def on_segment(a, b, c):
+        return (min(a[0], b[0]) <= c[0] <= max(a[0], b[0])
+                and min(a[1], b[1]) <= c[1] <= max(a[1], b[1]))
+
+    o1, o2 = orient(p1, p2, p3), orient(p1, p2, p4)
+    o3, o4 = orient(p3, p4, p1), orient(p3, p4, p2)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(p1, p2, p3):
+        return True
+    if o2 == 0 and on_segment(p1, p2, p4):
+        return True
+    if o3 == 0 and on_segment(p3, p4, p1):
+        return True
+    if o4 == 0 and on_segment(p3, p4, p2):
+        return True
+    return False
+
+
+class LineString(Geometry):
+    """An ordered sequence of two or more ``(lng, lat)`` coordinates."""
+
+    __slots__ = ("_coords", "_envelope")
+
+    wkt_name = "LINESTRING"
+
+    def __init__(self, coords):
+        coords = tuple((float(lng), float(lat)) for lng, lat in coords)
+        if len(coords) < 2:
+            raise GeometryError("LineString requires at least two points")
+        object.__setattr__(self, "_coords", coords)
+        object.__setattr__(self, "_envelope", Envelope(
+            min(c[0] for c in coords),
+            min(c[1] for c in coords),
+            max(c[0] for c in coords),
+            max(c[1] for c in coords),
+        ))
+
+    @property
+    def coords(self) -> tuple[tuple[float, float], ...]:
+        return self._coords
+
+    @property
+    def envelope(self) -> Envelope:
+        return self._envelope
+
+    def is_point(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, LineString) and self._coords == other._coords
+
+    def __hash__(self) -> int:
+        return hash(("LineString", self._coords))
+
+    def __repr__(self) -> str:
+        return f"LineString({len(self._coords)} points)"
+
+    def length_degrees(self) -> float:
+        """Total planar length of the line in degree units."""
+        total = 0.0
+        for (x1, y1), (x2, y2) in zip(self._coords, self._coords[1:]):
+            total += ((x2 - x1) ** 2 + (y2 - y1) ** 2) ** 0.5
+        return total
+
+    def intersects_envelope(self, env: Envelope) -> bool:
+        """Exact segment-vs-rectangle intersection test."""
+        if not self._envelope.intersects(env):
+            return False
+        corners = [
+            (env.min_lng, env.min_lat), (env.max_lng, env.min_lat),
+            (env.max_lng, env.max_lat), (env.min_lng, env.max_lat),
+        ]
+        for p in self._coords:
+            if env.contains_point(p[0], p[1]):
+                return True
+        edges = list(zip(corners, corners[1:] + corners[:1]))
+        for a, b in zip(self._coords, self._coords[1:]):
+            for c, d in edges:
+                if _segments_intersect(a, b, c, d):
+                    return True
+        return False

@@ -1,0 +1,45 @@
+"""Point geometry."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+
+
+@dataclass(frozen=True, slots=True)
+class Point(Geometry):
+    """A single ``(lng, lat)`` coordinate, optionally with a timestamp.
+
+    ``time`` is an epoch-seconds float used by spatio-temporal plugin types;
+    plain spatial points leave it as ``None``.
+    """
+
+    lng: float
+    lat: float
+    time: float | None = None
+
+    wkt_name = "POINT"
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.lng) and math.isfinite(self.lat)):
+            raise GeometryError(f"non-finite point ({self.lng}, {self.lat})")
+        if not (-180.0 <= self.lng <= 180.0 and -90.0 <= self.lat <= 90.0):
+            raise GeometryError(
+                f"point out of WGS84 bounds: ({self.lng}, {self.lat})")
+
+    @property
+    def envelope(self) -> Envelope:
+        return Envelope.of_point(self.lng, self.lat)
+
+    def is_point(self) -> bool:
+        return True
+
+    def intersects_envelope(self, env: Envelope) -> bool:
+        return env.contains_point(self.lng, self.lat)
+
+    def coords(self) -> tuple[float, float]:
+        return (self.lng, self.lat)

@@ -1,0 +1,91 @@
+"""Coordinate-system transforms between WGS84, GCJ02, and BD09.
+
+These implement the engine's 1-1 analysis operations
+(``st_WGS84ToGCJ02`` and friends).  GCJ02 is the obfuscated coordinate
+system mandated for maps of mainland China; BD09 is Baidu's additional
+offset on top of GCJ02.  The formulas are the widely published ones; the
+inverse (GCJ02 -> WGS84) is the standard one-step approximation, accurate
+to roughly a metre which is sufficient for analytical workloads.
+"""
+
+from __future__ import annotations
+
+import math
+
+_A = 6378245.0  # Krasovsky 1940 semi-major axis
+_EE = 0.00669342162296594323  # eccentricity squared
+
+_X_PI = math.pi * 3000.0 / 180.0
+
+
+def _out_of_china(lng: float, lat: float) -> bool:
+    return not (72.004 <= lng <= 137.8347 and 0.8293 <= lat <= 55.8271)
+
+
+def _transform_lat(x: float, y: float) -> float:
+    ret = (-100.0 + 2.0 * x + 3.0 * y + 0.2 * y * y + 0.1 * x * y
+           + 0.2 * math.sqrt(abs(x)))
+    ret += (20.0 * math.sin(6.0 * x * math.pi)
+            + 20.0 * math.sin(2.0 * x * math.pi)) * 2.0 / 3.0
+    ret += (20.0 * math.sin(y * math.pi)
+            + 40.0 * math.sin(y / 3.0 * math.pi)) * 2.0 / 3.0
+    ret += (160.0 * math.sin(y / 12.0 * math.pi)
+            + 320.0 * math.sin(y * math.pi / 30.0)) * 2.0 / 3.0
+    return ret
+
+
+def _transform_lng(x: float, y: float) -> float:
+    ret = (300.0 + x + 2.0 * y + 0.1 * x * x + 0.1 * x * y
+           + 0.1 * math.sqrt(abs(x)))
+    ret += (20.0 * math.sin(6.0 * x * math.pi)
+            + 20.0 * math.sin(2.0 * x * math.pi)) * 2.0 / 3.0
+    ret += (20.0 * math.sin(x * math.pi)
+            + 40.0 * math.sin(x / 3.0 * math.pi)) * 2.0 / 3.0
+    ret += (150.0 * math.sin(x / 12.0 * math.pi)
+            + 300.0 * math.sin(x / 30.0 * math.pi)) * 2.0 / 3.0
+    return ret
+
+
+def _gcj_offsets(lng: float, lat: float) -> tuple[float, float]:
+    dlat = _transform_lat(lng - 105.0, lat - 35.0)
+    dlng = _transform_lng(lng - 105.0, lat - 35.0)
+    rad_lat = lat / 180.0 * math.pi
+    magic = math.sin(rad_lat)
+    magic = 1.0 - _EE * magic * magic
+    sqrt_magic = math.sqrt(magic)
+    dlat = (dlat * 180.0) / ((_A * (1.0 - _EE)) / (magic * sqrt_magic)
+                             * math.pi)
+    dlng = (dlng * 180.0) / (_A / sqrt_magic * math.cos(rad_lat) * math.pi)
+    return dlng, dlat
+
+
+def wgs84_to_gcj02(lng: float, lat: float) -> tuple[float, float]:
+    """WGS84 -> GCJ02.  Coordinates outside China are returned unchanged."""
+    if _out_of_china(lng, lat):
+        return lng, lat
+    dlng, dlat = _gcj_offsets(lng, lat)
+    return lng + dlng, lat + dlat
+
+
+def gcj02_to_wgs84(lng: float, lat: float) -> tuple[float, float]:
+    """GCJ02 -> WGS84 (one-step approximate inverse)."""
+    if _out_of_china(lng, lat):
+        return lng, lat
+    dlng, dlat = _gcj_offsets(lng, lat)
+    return lng - dlng, lat - dlat
+
+
+def gcj02_to_bd09(lng: float, lat: float) -> tuple[float, float]:
+    """GCJ02 -> BD09 (Baidu)."""
+    z = math.sqrt(lng * lng + lat * lat) + 0.00002 * math.sin(lat * _X_PI)
+    theta = math.atan2(lat, lng) + 0.000003 * math.cos(lng * _X_PI)
+    return z * math.cos(theta) + 0.0065, z * math.sin(theta) + 0.006
+
+
+def bd09_to_gcj02(lng: float, lat: float) -> tuple[float, float]:
+    """BD09 -> GCJ02."""
+    x = lng - 0.0065
+    y = lat - 0.006
+    z = math.sqrt(x * x + y * y) - 0.00002 * math.sin(y * _X_PI)
+    theta = math.atan2(y, x) - 0.000003 * math.cos(x * _X_PI)
+    return z * math.cos(theta), z * math.sin(theta)

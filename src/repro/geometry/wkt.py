@@ -1,0 +1,70 @@
+"""Minimal WKT (Well-Known Text) reader/writer.
+
+Supports the geometry types the engine stores: POINT, LINESTRING, POLYGON
+(single ring).  WKT is the on-disk text format for geometry fields in common
+tables and for the CSV/GeoJSON loaders.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import GeometryError
+from repro.geometry.base import Geometry
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+_NUMBER = r"[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?"
+_POINT_RE = re.compile(
+    rf"^\s*POINT\s*\(\s*({_NUMBER})\s+({_NUMBER})\s*\)\s*$", re.IGNORECASE)
+_LINESTRING_RE = re.compile(
+    r"^\s*LINESTRING\s*\(([^)]*)\)\s*$", re.IGNORECASE)
+_POLYGON_RE = re.compile(
+    r"^\s*POLYGON\s*\(\s*\(([^)]*)\)\s*\)\s*$", re.IGNORECASE)
+
+
+def _format_coord(value: float) -> str:
+    text = f"{value:.8f}".rstrip("0").rstrip(".")
+    return text if text not in ("", "-") else "0"
+
+
+def _parse_coord_list(body: str) -> list[tuple[float, float]]:
+    coords = []
+    for chunk in body.split(","):
+        parts = chunk.split()
+        if len(parts) != 2:
+            raise GeometryError(f"malformed WKT coordinate: {chunk!r}")
+        coords.append((float(parts[0]), float(parts[1])))
+    return coords
+
+
+def to_wkt(geom: Geometry) -> str:
+    """Serialize a geometry to WKT text."""
+    if isinstance(geom, Point):
+        return (f"POINT ({_format_coord(geom.lng)} "
+                f"{_format_coord(geom.lat)})")
+    if isinstance(geom, LineString):
+        body = ", ".join(
+            f"{_format_coord(x)} {_format_coord(y)}" for x, y in geom.coords)
+        return f"LINESTRING ({body})"
+    if isinstance(geom, Polygon):
+        ring = list(geom.ring) + [geom.ring[0]]
+        body = ", ".join(
+            f"{_format_coord(x)} {_format_coord(y)}" for x, y in ring)
+        return f"POLYGON (({body}))"
+    raise GeometryError(f"cannot serialize geometry type {type(geom)!r}")
+
+
+def from_wkt(text: str) -> Geometry:
+    """Parse a WKT string into a geometry object."""
+    match = _POINT_RE.match(text)
+    if match:
+        return Point(float(match.group(1)), float(match.group(2)))
+    match = _LINESTRING_RE.match(text)
+    if match:
+        return LineString(_parse_coord_list(match.group(1)))
+    match = _POLYGON_RE.match(text)
+    if match:
+        return Polygon(_parse_coord_list(match.group(1)))
+    raise GeometryError(f"unparseable WKT: {text[:80]!r}")

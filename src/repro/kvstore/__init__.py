@@ -1,0 +1,21 @@
+"""An HBase-like distributed sorted key-value store, built from scratch.
+
+This is the storage substrate the paper runs on.  Data lives in *tables*;
+each table is split into key-range *regions*; regions are hosted on
+simulated *region servers*.  Writes land in a per-region memstore that
+flushes to immutable sorted SSTable runs; reads merge the memstore with the
+runs.  A block cache absorbs repeated reads (the paper disables its effect
+by randomizing query parameters — benchmarks here do the same).
+
+The store holds bytes in host RAM but meters every simulated disk and
+network byte through :class:`~repro.kvstore.iostats.IOStats`, which the
+cluster cost model converts into the simulated latencies reported by the
+benchmark harness.
+"""
+
+from repro.kvstore.iostats import IOStats
+from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.store import KVStore, KVTable
+from repro.kvstore.scan import ScanSpec
+
+__all__ = ["IOStats", "BlockCache", "KVStore", "KVTable", "ScanSpec"]

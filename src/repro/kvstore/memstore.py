@@ -1,0 +1,59 @@
+"""The in-memory write buffer of a region."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+#: Sentinel value marking a deleted key until compaction discards it.
+TOMBSTONE = None
+
+
+class MemStore:
+    """Sorted in-memory key-value buffer.
+
+    Writes are absorbed here and flushed to an SSTable once
+    ``size_bytes`` crosses the region's flush threshold.  Deletions are
+    tombstones so they can mask older SSTable entries during merges.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes | None] = {}
+        self._sorted_keys: list[bytes] = []
+        self.size_bytes = 0
+
+    def put(self, key: bytes, value: bytes | None) -> None:
+        """Insert or overwrite ``key``; ``None`` writes a tombstone."""
+        if key in self._data:
+            old = self._data[key]
+            self.size_bytes -= len(key) + (len(old) if old is not None else 0)
+        else:
+            insort(self._sorted_keys, key)
+        self._data[key] = value
+        self.size_bytes += len(key) + (len(value) if value is not None else 0)
+
+    def get(self, key: bytes) -> tuple[bool, bytes | None]:
+        """``(found, value)``; found tombstones return ``(True, None)``."""
+        if key in self._data:
+            return True, self._data[key]
+        return False, None
+
+    def scan(self, start: bytes, end: bytes):
+        """Yield ``(key, value_or_tombstone)`` for keys in [start, end]."""
+        lo = bisect_left(self._sorted_keys, start)
+        hi = bisect_right(self._sorted_keys, end)
+        for i in range(lo, hi):
+            key = self._sorted_keys[i]
+            yield key, self._data[key]
+
+    def items_sorted(self):
+        """All entries in key order (used by flush)."""
+        for key in self._sorted_keys:
+            yield key, self._data[key]
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._sorted_keys.clear()
+        self.size_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)

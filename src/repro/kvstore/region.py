@@ -1,0 +1,143 @@
+"""A region: one contiguous key range of a table."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.iostats import IOStats
+from repro.kvstore.memstore import MemStore
+from repro.kvstore.sstable import DEFAULT_BLOCK_BYTES, SSTable
+
+_REGION_IDS = itertools.count()
+
+#: Flush the memstore to an SSTable once it exceeds this many bytes.
+DEFAULT_FLUSH_BYTES = 512 * 1024
+#: Merge SSTables once a region accumulates this many runs.
+DEFAULT_COMPACT_RUNS = 8
+
+
+class Region:
+    """Memstore + SSTable runs for the key range ``[start_key, end_key)``.
+
+    ``end_key=None`` means unbounded above.  Each region is hosted by one
+    region server (``server``); scans charge that server's I/O counters so
+    the cost model can account for parallelism across servers.
+    """
+
+    def __init__(self, start_key: bytes, end_key: bytes | None,
+                 stats: IOStats, server: int = 0,
+                 flush_bytes: int = DEFAULT_FLUSH_BYTES,
+                 block_bytes: int = DEFAULT_BLOCK_BYTES):
+        self.region_id = next(_REGION_IDS)
+        self.start_key = start_key
+        self.end_key = end_key
+        self.server = server
+        self._stats = stats
+        self._flush_bytes = flush_bytes
+        self._block_bytes = block_bytes
+        self.memstore = MemStore()
+        self.sstables: list[SSTable] = []  # oldest first
+
+    # -- routing -----------------------------------------------------------
+    def owns(self, key: bytes) -> bool:
+        if key < self.start_key:
+            return False
+        return self.end_key is None or key < self.end_key
+
+    def overlaps(self, start: bytes, end: bytes) -> bool:
+        if self.end_key is not None and start >= self.end_key:
+            return False
+        return end >= self.start_key
+
+    # -- write path ----------------------------------------------------------
+    def put(self, key: bytes, value: bytes | None) -> None:
+        self.memstore.put(key, value)
+        if self.memstore.size_bytes >= self._flush_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist the memstore as a new SSTable run."""
+        if not len(self.memstore):
+            return
+        entries = list(self.memstore.items_sorted())
+        self.sstables.append(
+            SSTable(entries, self._stats, self._block_bytes))
+        self.memstore.clear()
+        if len(self.sstables) >= DEFAULT_COMPACT_RUNS:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge all runs into one, dropping masked values and tombstones."""
+        if len(self.sstables) <= 1:
+            return
+        merged: dict[bytes, bytes | None] = {}
+        read_bytes = 0
+        for sstable in self.sstables:  # oldest first: newer overwrite older
+            read_bytes += sstable.total_bytes
+            for key, value in sstable.entries():
+                merged[key] = value
+        self._stats.record_disk_read(read_bytes, self.server)
+        live = [(k, v) for k, v in sorted(merged.items()) if v is not None]
+        self.sstables = [SSTable(live, self._stats, self._block_bytes)]
+
+    # -- read path -----------------------------------------------------------
+    def get(self, key: bytes, cache: BlockCache | None) -> bytes | None:
+        found, value = self.memstore.get(key)
+        if found:
+            self._stats.record_memstore_read(
+                len(key) + (len(value) if value is not None else 0))
+            return value
+        for sstable in reversed(self.sstables):  # newest first
+            found, value = sstable.get(key, cache, self.server)
+            if found:
+                return value
+        return None
+
+    def scan(self, start: bytes, end: bytes, cache: BlockCache | None):
+        """Yield live ``(key, value)`` pairs in [start, end], key-sorted."""
+        lo = max(start, self.start_key)
+        hi = end if self.end_key is None else min(
+            end, _predecessor(self.end_key))
+        if hi < lo:
+            return
+        merged: dict[bytes, bytes | None] = {}
+        for sstable in self.sstables:  # oldest first
+            for key, value in sstable.scan(lo, hi, cache, self.server):
+                merged[key] = value
+        for key, value in self.memstore.scan(lo, hi):
+            self._stats.record_memstore_read(
+                len(key) + (len(value) if value is not None else 0))
+            merged[key] = value
+        for key in sorted(merged):
+            value = merged[key]
+            if value is not None:
+                yield key, value
+
+    # -- sizing --------------------------------------------------------------
+    @property
+    def disk_bytes(self) -> int:
+        return sum(s.total_bytes for s in self.sstables)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.disk_bytes + self.memstore.size_bytes
+
+    def all_entries(self) -> list[tuple[bytes, bytes]]:
+        """Every live entry, used when the region splits."""
+        merged: dict[bytes, bytes | None] = {}
+        for sstable in self.sstables:
+            for key, value in sstable.entries():
+                merged[key] = value
+        for key, value in self.memstore.items_sorted():
+            merged[key] = value
+        return [(k, v) for k, v in sorted(merged.items()) if v is not None]
+
+
+def _predecessor(key: bytes) -> bytes:
+    """The largest byte string strictly below ``key``."""
+    if not key:
+        return b""
+    if key[-1] == 0:
+        return key[:-1]
+    return key[:-1] + bytes([key[-1] - 1]) + b"\xff" * 8

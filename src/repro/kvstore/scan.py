@@ -1,0 +1,27 @@
+"""Scan specifications for the key-value store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ScanSpec:
+    """An inclusive key-range scan request.
+
+    ``start=b""`` and ``end=b"\\xff" * 32`` together cover a whole table.
+    ``limit`` stops the scan after that many live entries.
+    """
+
+    start: bytes = b""
+    end: bytes = b"\xff" * 32
+    limit: int | None = None
+
+    @classmethod
+    def full(cls) -> "ScanSpec":
+        return cls()
+
+    @classmethod
+    def prefix(cls, prefix: bytes) -> "ScanSpec":
+        """Scan every key beginning with ``prefix``."""
+        return cls(prefix, prefix + b"\xff" * 16)

@@ -1,0 +1,186 @@
+"""Tables and the store facade."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.errors import TableExistsError, TableNotFoundError
+from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.iostats import IOStats
+from repro.kvstore.region import DEFAULT_FLUSH_BYTES, Region
+from repro.kvstore.scan import ScanSpec
+from repro.kvstore.sstable import DEFAULT_BLOCK_BYTES, SSTable
+
+#: Split a region once its data exceeds this many bytes.
+DEFAULT_SPLIT_BYTES = 4 * 1024 * 1024
+
+
+class KVTable:
+    """One sorted table, split into key-range regions across servers."""
+
+    def __init__(self, name: str, store: "KVStore"):
+        self.name = name
+        self._store = store
+        self._stats = store.stats
+        first = Region(b"", None, store.stats,
+                       server=store.next_server(),
+                       flush_bytes=store.flush_bytes,
+                       block_bytes=store.block_bytes)
+        self._regions: list[Region] = [first]
+        # _region_starts[i] == _regions[i].start_key, kept sorted for routing
+        self._region_starts: list[bytes] = [b""]
+
+    # -- routing -------------------------------------------------------------
+    def _region_for(self, key: bytes) -> Region:
+        index = bisect_right(self._region_starts, key) - 1
+        return self._regions[index]
+
+    def _regions_overlapping(self, start: bytes, end: bytes) -> list[Region]:
+        return [r for r in self._regions if r.overlaps(start, end)]
+
+    # -- API -----------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite one cell."""
+        region = self._region_for(key)
+        region.put(key, value)
+        if region.total_bytes >= self._store.split_bytes:
+            self._split(region)
+
+    def delete(self, key: bytes) -> None:
+        """Delete one cell (tombstone until compaction)."""
+        self._region_for(key).put(key, None)
+
+    def get(self, key: bytes) -> bytes | None:
+        region = self._region_for(key)
+        return region.get(key, self._store.cache_for(region.server))
+
+    def scan(self, spec: ScanSpec):
+        """Yield live ``(key, value)`` pairs across regions, key-sorted."""
+        self._stats.record_scan()
+        remaining = spec.limit
+        for region in self._regions_overlapping(spec.start, spec.end):
+            cache = self._store.cache_for(region.server)
+            for key, value in region.scan(spec.start, spec.end, cache):
+                self._stats.record_result(len(key) + len(value))
+                yield key, value
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining <= 0:
+                        return
+
+    def flush(self) -> None:
+        """Flush every region's memstore (used before size measurements)."""
+        for region in self._regions:
+            region.flush()
+
+    def compact(self) -> None:
+        for region in self._regions:
+            region.compact()
+
+    # -- splitting -----------------------------------------------------------
+    def _split(self, region: Region) -> None:
+        entries = region.all_entries()
+        if len(entries) < 2:
+            return
+        mid = len(entries) // 2
+        split_key = entries[mid][0]
+        if split_key <= region.start_key:
+            return
+        left = Region(region.start_key, split_key, self._stats,
+                      server=region.server,
+                      flush_bytes=self._store.flush_bytes,
+                      block_bytes=self._store.block_bytes)
+        right = Region(split_key, region.end_key, self._stats,
+                       server=self._store.next_server(),
+                       flush_bytes=self._store.flush_bytes,
+                       block_bytes=self._store.block_bytes)
+        # An HBase split creates reference files rather than rewriting
+        # data, so the daughters' SSTables are built without write charges.
+        left.sstables = [SSTable(entries[:mid], self._stats,
+                                 self._store.block_bytes,
+                                 charge_write=False)]
+        right.sstables = [SSTable(entries[mid:], self._stats,
+                                  self._store.block_bytes,
+                                  charge_write=False)]
+        index = self._regions.index(region)
+        self._regions[index:index + 1] = [left, right]
+        self._region_starts = [r.start_key for r in self._regions]
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def num_regions(self) -> int:
+        return len(self._regions)
+
+    @property
+    def disk_bytes(self) -> int:
+        """Bytes persisted in SSTables (index keys plus values)."""
+        return sum(r.disk_bytes for r in self._regions)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.total_bytes for r in self._regions)
+
+    def count(self) -> int:
+        """Number of live entries (full scan, charges I/O)."""
+        return sum(1 for _ in self.scan(ScanSpec.full()))
+
+    def servers_used(self) -> set[int]:
+        return {r.server for r in self._regions}
+
+
+class KVStore:
+    """The store facade: named tables on ``num_servers`` region servers."""
+
+    def __init__(self, num_servers: int = 5,
+                 cache_bytes_per_server: int = 64 * 1024 * 1024,
+                 flush_bytes: int = DEFAULT_FLUSH_BYTES,
+                 split_bytes: int = DEFAULT_SPLIT_BYTES,
+                 block_bytes: int = DEFAULT_BLOCK_BYTES):
+        self.num_servers = num_servers
+        self.flush_bytes = flush_bytes
+        self.split_bytes = split_bytes
+        self.block_bytes = block_bytes
+        self.stats = IOStats()
+        self._tables: dict[str, KVTable] = {}
+        self._caches = [BlockCache(cache_bytes_per_server)
+                        for _ in range(num_servers)]
+        self._server_cursor = 0
+
+    def next_server(self) -> int:
+        """Round-robin region placement across servers."""
+        server = self._server_cursor
+        self._server_cursor = (self._server_cursor + 1) % self.num_servers
+        return server
+
+    def cache_for(self, server: int) -> BlockCache:
+        return self._caches[server]
+
+    def clear_caches(self) -> None:
+        """Drop every block cache (benchmarks do this between queries)."""
+        for cache in self._caches:
+            cache.clear()
+
+    # -- table management ------------------------------------------------------
+    def create_table(self, name: str) -> KVTable:
+        if name in self._tables:
+            raise TableExistsError(name)
+        table = KVTable(name, self)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> KVTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise TableNotFoundError(name)
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

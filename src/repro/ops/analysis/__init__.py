@@ -1,0 +1,1 @@
+"""Implementations of the preset spatio-temporal analysis operations."""

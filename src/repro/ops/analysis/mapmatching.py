@@ -1,0 +1,148 @@
+"""HMM map matching (``st_trajMapMatching``).
+
+The standard hidden-Markov-model formulation (Newson & Krumm, 2009):
+states are candidate road segments per GPS sample, emission probability
+falls off with perpendicular distance, and transition probability favours
+candidate pairs whose network route length agrees with the great-circle
+distance between the samples.  Decoding is Viterbi with per-step
+renormalization in log space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.roadnetwork.network import Candidate, RoadNetwork
+from repro.trajectory.model import GPSPoint, Trajectory
+
+DEFAULT_SIGMA_M = 20.0       # GPS noise standard deviation
+DEFAULT_BETA_M = 200.0       # tolerance of route-vs-line length mismatch
+DEFAULT_RADIUS_M = 80.0      # candidate search radius
+DEFAULT_MAX_CANDIDATES = 5
+
+
+@dataclass(frozen=True, slots=True)
+class MatchedPoint:
+    """One GPS sample snapped onto a road segment."""
+
+    point: GPSPoint
+    segment_id: str
+    proj_lng: float
+    proj_lat: float
+    distance_m: float
+
+
+class MapMatcher:
+    """Reusable matcher bound to one road network."""
+
+    def __init__(self, network: RoadNetwork,
+                 sigma_m: float = DEFAULT_SIGMA_M,
+                 beta_m: float = DEFAULT_BETA_M,
+                 radius_m: float = DEFAULT_RADIUS_M,
+                 max_candidates: int = DEFAULT_MAX_CANDIDATES):
+        self.network = network
+        self.sigma_m = sigma_m
+        self.beta_m = beta_m
+        self.radius_m = radius_m
+        self.max_candidates = max_candidates
+
+    # -- probabilities (log space) ----------------------------------------------
+    def _log_emission(self, candidate: Candidate) -> float:
+        z = candidate.distance_m / self.sigma_m
+        return -0.5 * z * z
+
+    def _route_distance_m(self, a: Candidate, b: Candidate) -> float:
+        if a.segment.segment_id == b.segment.segment_id:
+            return abs(b.offset_m - a.offset_m)
+        to_end = a.segment.length_m - a.offset_m
+        between = self.network.route_length_m(a.segment.end_node,
+                                              b.segment.start_node)
+        return to_end + between + b.offset_m
+
+    def _log_transition(self, a: Candidate, b: Candidate,
+                        line_m: float) -> float:
+        route_m = self._route_distance_m(a, b)
+        if math.isinf(route_m):
+            return -math.inf
+        return -abs(route_m - line_m) / self.beta_m
+
+    # -- Viterbi --------------------------------------------------------------------
+    def match(self, trajectory: Trajectory) -> list[MatchedPoint]:
+        """Snap every matchable sample of a trajectory onto the network.
+
+        Samples with no candidate within the radius are skipped; when the
+        HMM breaks (no reachable transition), decoding restarts at the
+        break, as practical matchers do.
+        """
+        points = list(trajectory.points)
+        candidate_sets: list[tuple[GPSPoint, list[Candidate]]] = []
+        for point in points:
+            found = self.network.candidates(point.lng, point.lat,
+                                            self.radius_m,
+                                            self.max_candidates)
+            if found:
+                candidate_sets.append((point, found))
+        if not candidate_sets:
+            return []
+        out: list[MatchedPoint] = []
+        start = 0
+        while start < len(candidate_sets):
+            end, decoded = self._viterbi_run(candidate_sets, start)
+            out.extend(decoded)
+            start = end
+        return out
+
+    def _viterbi_run(self, candidate_sets, start: int
+                     ) -> tuple[int, list[MatchedPoint]]:
+        point, candidates = candidate_sets[start]
+        scores = [self._log_emission(c) for c in candidates]
+        backpointers: list[list[int]] = []
+        chain = [(point, candidates)]
+        index = start + 1
+        while index < len(candidate_sets):
+            next_point, next_candidates = candidate_sets[index]
+            line_m = chain[-1][0].distance_m(next_point)
+            new_scores = []
+            pointers = []
+            for candidate in next_candidates:
+                best_score = -math.inf
+                best_prev = -1
+                for prev_index, prev_candidate in enumerate(chain[-1][1]):
+                    transition = self._log_transition(
+                        prev_candidate, candidate, line_m)
+                    score = scores[prev_index] + transition
+                    if score > best_score:
+                        best_score = score
+                        best_prev = prev_index
+                new_scores.append(best_score + self._log_emission(candidate))
+                pointers.append(best_prev)
+            if all(math.isinf(s) and s < 0 for s in new_scores):
+                break  # HMM break: decode what we have, restart here
+            top = max(new_scores)
+            scores = [s - top for s in new_scores]  # renormalize
+            backpointers.append(pointers)
+            chain.append((next_point, next_candidates))
+            index += 1
+        # Backtrack.
+        best = max(range(len(scores)), key=lambda i: scores[i])
+        path = [best]
+        for pointers in reversed(backpointers):
+            path.append(pointers[path[-1]])
+        path.reverse()
+        decoded = []
+        for (pt, candidates), choice in zip(chain, path):
+            c = candidates[choice]
+            decoded.append(MatchedPoint(pt, c.segment.segment_id,
+                                        c.proj_lng, c.proj_lat,
+                                        c.distance_m))
+        return index, decoded
+
+
+def map_match(trajectory: Trajectory, network: RoadNetwork,
+              **params) -> list[MatchedPoint]:
+    """Convenience wrapper: match one trajectory against a network."""
+    if network is None:
+        raise ExecutionError("map matching requires a road network")
+    return MapMatcher(network, **params).match(trajectory)

@@ -1,0 +1,48 @@
+"""Trajectory noise filtering (``st_trajNoiseFilter``).
+
+Speed-based outlier removal as in CloudTP/TrajMesa preprocessing: a GPS
+sample is noise when reaching it from the last accepted sample would
+require an implausible speed.  The first sample is trusted; a configurable
+consecutive-outlier limit re-anchors the filter after GPS "jumps" so a
+genuinely moved vehicle is not filtered forever.
+"""
+
+from __future__ import annotations
+
+from repro.trajectory.model import STSeries, Trajectory
+
+#: Default maximum plausible speed (m/s).  ~180 km/h covers lorries.
+DEFAULT_MAX_SPEED_MPS = 50.0
+#: After this many consecutive rejections, accept the next sample anyway.
+DEFAULT_REANCHOR_AFTER = 5
+
+
+def filter_series(series: STSeries,
+                  max_speed_mps: float = DEFAULT_MAX_SPEED_MPS,
+                  reanchor_after: int = DEFAULT_REANCHOR_AFTER) -> STSeries:
+    """Return a copy of ``series`` with speed-outlier samples removed."""
+    points = series.points
+    if len(points) <= 1:
+        return series
+    kept = [points[0]]
+    rejected_streak = 0
+    for point in points[1:]:
+        if kept[-1].speed_to_mps(point) <= max_speed_mps:
+            kept.append(point)
+            rejected_streak = 0
+        else:
+            rejected_streak += 1
+            if rejected_streak >= reanchor_after:
+                kept.append(point)  # re-anchor: the vehicle really moved
+                rejected_streak = 0
+    return STSeries(kept)
+
+
+def traj_noise_filter(trajectory: Trajectory,
+                      max_speed_mps: float = DEFAULT_MAX_SPEED_MPS,
+                      reanchor_after: int = DEFAULT_REANCHOR_AFTER
+                      ) -> Trajectory:
+    """1-N operation (N=1 here): the trajectory with noise removed."""
+    cleaned = filter_series(trajectory.series, max_speed_mps,
+                            reanchor_after)
+    return Trajectory(trajectory.tid, trajectory.oid, cleaned)

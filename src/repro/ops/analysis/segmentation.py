@@ -1,0 +1,42 @@
+"""Trajectory segmentation (``st_trajSegmentation``).
+
+Splits a trajectory into sub-trajectories wherever consecutive samples are
+separated by more than a time gap or a distance gap — the standard
+preprocessing step before map matching or stay-point analysis.  This is a
+genuine 1-N operation: one input row produces several output rows.
+"""
+
+from __future__ import annotations
+
+from repro.trajectory.model import Trajectory
+
+DEFAULT_MAX_TIME_GAP_S = 30 * 60.0
+DEFAULT_MAX_DISTANCE_GAP_M = 5000.0
+DEFAULT_MIN_SEGMENT_POINTS = 2
+
+
+def traj_segment(trajectory: Trajectory,
+                 max_time_gap_s: float = DEFAULT_MAX_TIME_GAP_S,
+                 max_distance_gap_m: float = DEFAULT_MAX_DISTANCE_GAP_M,
+                 min_points: int = DEFAULT_MIN_SEGMENT_POINTS
+                 ) -> list[Trajectory]:
+    """Split a trajectory at large time/space gaps.
+
+    Segments shorter than ``min_points`` samples are discarded.  Segment
+    ids are ``<tid>#<n>`` in temporal order.
+    """
+    points = trajectory.points
+    if not points:
+        return []
+    cuts = [0]
+    for i, (a, b) in enumerate(zip(points, points[1:]), start=1):
+        if (b.time - a.time > max_time_gap_s
+                or a.distance_m(b) > max_distance_gap_m):
+            cuts.append(i)
+    cuts.append(len(points))
+    segments = []
+    for n, (start, stop) in enumerate(zip(cuts, cuts[1:])):
+        if stop - start >= min_points:
+            segments.append(
+                trajectory.subtrajectory(start, stop, tid_suffix=f"#{n}"))
+    return segments

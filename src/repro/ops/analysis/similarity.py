@@ -1,0 +1,140 @@
+"""Trajectory similarity measures and k-similar search.
+
+The trajectory plugin's companion system (TrajMesa, the paper's reference
+[31]) serves similarity queries over stored trajectories; this module
+provides the two standard curve distances — discrete Hausdorff and
+discrete Fréchet — and a k-most-similar search that prunes candidates
+with an envelope lower bound before computing exact distances.
+
+Distances are planar degree-space values, consistent with the engine's
+Euclidean k-NN.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.curves.strategies import STQuery
+from repro.errors import ExecutionError
+from repro.trajectory.model import Trajectory
+
+
+def _coords(trajectory: Trajectory) -> list[tuple[float, float]]:
+    return [(p.lng, p.lat) for p in trajectory.points]
+
+
+def _point_distance(a: tuple[float, float],
+                    b: tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def _directed_hausdorff(a: list, b: list) -> float:
+    worst = 0.0
+    for p in a:
+        best = min(_point_distance(p, q) for q in b)
+        if best > worst:
+            worst = best
+    return worst
+
+
+def hausdorff_distance(a: Trajectory, b: Trajectory) -> float:
+    """Discrete Hausdorff distance between two trajectories.
+
+    The classic "how far apart can matching points be forced" measure:
+    max over both directed distances.  O(n*m).
+    """
+    pa, pb = _coords(a), _coords(b)
+    if not pa or not pb:
+        raise ExecutionError("cannot compare empty trajectories")
+    return max(_directed_hausdorff(pa, pb), _directed_hausdorff(pb, pa))
+
+
+def frechet_distance(a: Trajectory, b: Trajectory) -> float:
+    """Discrete Fréchet distance (the "dog leash" distance).
+
+    Order-aware: unlike Hausdorff it penalizes trajectories that visit
+    the same places in a different order.  Dynamic programming, O(n*m).
+    """
+    pa, pb = _coords(a), _coords(b)
+    if not pa or not pb:
+        raise ExecutionError("cannot compare empty trajectories")
+    n, m = len(pa), len(pb)
+    previous = [0.0] * m
+    previous[0] = _point_distance(pa[0], pb[0])
+    for j in range(1, m):
+        previous[j] = max(previous[j - 1], _point_distance(pa[0], pb[j]))
+    for i in range(1, n):
+        current = [0.0] * m
+        current[0] = max(previous[0], _point_distance(pa[i], pb[0]))
+        for j in range(1, m):
+            reachable = min(previous[j], previous[j - 1], current[j - 1])
+            current[j] = max(reachable, _point_distance(pa[i], pb[j]))
+        previous = current
+    return previous[-1]
+
+
+def envelope_lower_bound(a: Trajectory, b: Trajectory) -> float:
+    """A cheap lower bound on both distances: MBR separation.
+
+    When the MBRs are ``d`` apart, every point pairing is at least ``d``
+    apart, so ``d`` lower-bounds Hausdorff and Fréchet alike — safe to
+    prune with.
+    """
+    env_a, env_b = a.envelope, b.envelope
+    dx = max(env_b.min_lng - env_a.max_lng,
+             env_a.min_lng - env_b.max_lng, 0.0)
+    dy = max(env_b.min_lat - env_a.max_lat,
+             env_a.min_lat - env_b.max_lat, 0.0)
+    return math.hypot(dx, dy)
+
+
+_MEASURES = {
+    "hausdorff": hausdorff_distance,
+    "frechet": frechet_distance,
+}
+
+
+def k_similar_trajectories(table, query: Trajectory, k: int,
+                           measure: str = "hausdorff",
+                           search_margin_deg: float = 0.05,
+                           job=None) -> list[tuple[dict, float]]:
+    """The k stored trajectories most similar to ``query``.
+
+    Candidates are fetched with one spatial range query around the query
+    trajectory's MBR (similar trajectories must lie nearby), pruned with
+    the MBR lower bound, and ranked by the exact distance.  Returns
+    ``(row, distance)`` pairs, nearest first.
+    """
+    if k <= 0:
+        raise ExecutionError("k must be positive")
+    try:
+        distance_fn = _MEASURES[measure.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(_MEASURES))
+        raise ExecutionError(
+            f"unknown similarity measure {measure!r}; expected one of "
+            f"{valid}") from None
+
+    probe = query.envelope.buffer(search_margin_deg, search_margin_deg)
+    candidates = table.query(STQuery(envelope=probe),
+                             predicate="intersects", job=job)
+
+    # Rank candidates by the cheap bound, compute exact distances in
+    # that order, and stop once the bound exceeds the current k-th best.
+    bounded = sorted(
+        ((envelope_lower_bound(query, row["item"]), row)
+         for row in candidates if row["item"].tid != query.tid),
+        key=lambda pair: pair[0])
+    results: list[tuple[dict, float]] = []
+    kth_best = math.inf
+    for bound, row in bounded:
+        if len(results) >= k and bound > kth_best:
+            break
+        exact = distance_fn(query, row["item"])
+        results.append((row, exact))
+        results.sort(key=lambda pair: pair[1])
+        if len(results) > k:
+            results.pop()
+        if len(results) == k:
+            kth_best = results[-1][1]
+    return results

@@ -1,0 +1,63 @@
+"""Stay-point detection (``st_trajStayPoint``).
+
+The classic algorithm from trajectory-mining literature (Zheng, TIST
+2015): a stay point is a maximal run of samples that remain within
+``distance_threshold_m`` of the run's first sample for at least
+``time_threshold_s``.  Courier delivery stops surface this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trajectory.model import Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class StayPoint:
+    """One detected stay: centroid position plus dwell interval."""
+
+    lng: float
+    lat: float
+    arrive_time: float
+    leave_time: float
+    num_points: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.leave_time - self.arrive_time
+
+
+DEFAULT_DISTANCE_THRESHOLD_M = 200.0
+DEFAULT_TIME_THRESHOLD_S = 20 * 60.0
+
+
+def traj_stay_points(trajectory: Trajectory,
+                     distance_threshold_m: float =
+                     DEFAULT_DISTANCE_THRESHOLD_M,
+                     time_threshold_s: float = DEFAULT_TIME_THRESHOLD_S
+                     ) -> list[StayPoint]:
+    """Detect stay points; a 1-N operation returning zero or more stays."""
+    points = trajectory.points
+    stays: list[StayPoint] = []
+    i = 0
+    n = len(points)
+    while i < n:
+        j = i + 1
+        while j < n and points[i].distance_m(points[j]) \
+                <= distance_threshold_m:
+            j += 1
+        # points[i:j] stay within the radius of points[i]
+        if points[j - 1].time - points[i].time >= time_threshold_s:
+            cluster = points[i:j]
+            stays.append(StayPoint(
+                lng=sum(p.lng for p in cluster) / len(cluster),
+                lat=sum(p.lat for p in cluster) / len(cluster),
+                arrive_time=cluster[0].time,
+                leave_time=cluster[-1].time,
+                num_points=len(cluster),
+            ))
+            i = j
+        else:
+            i += 1
+    return stays

@@ -1,0 +1,40 @@
+"""1-1 analysis operations: coordinate-system transforms.
+
+These are the engine's UDF-style operations (``SELECT
+st_WGS84ToGCJ02(lng, lat) FROM ...``).  They operate on Points and return
+Points so they compose with other spatial functions.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.transforms import (
+    bd09_to_gcj02,
+    gcj02_to_bd09,
+    gcj02_to_wgs84,
+    wgs84_to_gcj02,
+)
+
+
+def st_wgs84_to_gcj02(point: Point) -> Point:
+    """WGS84 -> GCJ02 (Chinese map datum)."""
+    lng, lat = wgs84_to_gcj02(point.lng, point.lat)
+    return Point(lng, lat, point.time)
+
+
+def st_gcj02_to_wgs84(point: Point) -> Point:
+    """GCJ02 -> WGS84 (approximate inverse)."""
+    lng, lat = gcj02_to_wgs84(point.lng, point.lat)
+    return Point(lng, lat, point.time)
+
+
+def st_gcj02_to_bd09(point: Point) -> Point:
+    """GCJ02 -> BD09 (Baidu datum)."""
+    lng, lat = gcj02_to_bd09(point.lng, point.lat)
+    return Point(lng, lat, point.time)
+
+
+def st_bd09_to_gcj02(point: Point) -> Point:
+    """BD09 -> GCJ02."""
+    lng, lat = bd09_to_gcj02(point.lng, point.lat)
+    return Point(lng, lat, point.time)

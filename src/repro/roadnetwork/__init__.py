@@ -1,0 +1,12 @@
+"""Road networks and map recovery.
+
+``network`` provides the road-graph substrate the map-matching operation
+needs (candidate segment lookup, shortest routes).  ``recovery``
+implements the paper's Map Recovery application: inferring missing road
+segments, speeds, and travel modes from courier trajectories.
+"""
+
+from repro.roadnetwork.network import RoadNetwork, RoadSegment
+from repro.roadnetwork.recovery import RecoveredSegment, recover_map
+
+__all__ = ["RoadNetwork", "RoadSegment", "RecoveredSegment", "recover_map"]

@@ -1,0 +1,211 @@
+"""Road network graph with spatial candidate lookup."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ExecutionError
+from repro.geometry.distance import (
+    METERS_PER_DEGREE,
+    haversine_distance_m,
+    point_segment_distance,
+)
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """One directed road segment (graph edge)."""
+
+    segment_id: str
+    start_node: str
+    end_node: str
+    coords: tuple[tuple[float, float], ...]
+    length_m: float
+    attributes: dict = field(default_factory=dict, compare=False)
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """A map-matching candidate: a segment plus the projected position."""
+
+    segment: RoadSegment
+    proj_lng: float
+    proj_lat: float
+    distance_m: float
+    #: metres from the segment start to the projection point
+    offset_m: float
+
+
+class RoadNetwork:
+    """A directed road graph over :mod:`networkx` with a grid index.
+
+    Nodes are intersections with coordinates; edges are
+    :class:`RoadSegment` polylines.  ``candidates`` finds the segments
+    near a GPS sample; ``route_length_m`` gives network distances for
+    map-matching transitions.
+    """
+
+    def __init__(self, index_cell_m: float = 250.0):
+        self.graph = nx.DiGraph()
+        self._segments: dict[str, RoadSegment] = {}
+        self._cell_degrees = index_cell_m / METERS_PER_DEGREE
+        self._grid: dict[tuple[int, int], list[str]] = {}
+
+    # -- construction -----------------------------------------------------------
+    def add_node(self, node_id: str, lng: float, lat: float) -> None:
+        self.graph.add_node(node_id, lng=lng, lat=lat)
+
+    def node_position(self, node_id: str) -> tuple[float, float]:
+        data = self.graph.nodes[node_id]
+        return data["lng"], data["lat"]
+
+    def add_segment(self, segment_id: str, start_node: str, end_node: str,
+                    coords=None, bidirectional: bool = True,
+                    **attributes) -> RoadSegment:
+        """Add a segment; coords default to the straight node-to-node line."""
+        if start_node not in self.graph or end_node not in self.graph:
+            raise ExecutionError(
+                f"segment {segment_id!r} references unknown nodes")
+        if coords is None:
+            coords = (self.node_position(start_node),
+                      self.node_position(end_node))
+        coords = tuple((float(a), float(b)) for a, b in coords)
+        length = sum(haversine_distance_m(x1, y1, x2, y2)
+                     for (x1, y1), (x2, y2) in zip(coords, coords[1:]))
+        segment = RoadSegment(segment_id, start_node, end_node, coords,
+                              length, dict(attributes))
+        self._register(segment)
+        if bidirectional:
+            reverse = RoadSegment(segment_id + ":rev", end_node, start_node,
+                                  tuple(reversed(coords)), length,
+                                  dict(attributes))
+            self._register(reverse)
+        return segment
+
+    def _register(self, segment: RoadSegment) -> None:
+        self._segments[segment.segment_id] = segment
+        self.graph.add_edge(segment.start_node, segment.end_node,
+                            segment_id=segment.segment_id,
+                            weight=segment.length_m)
+        for (x1, y1), (x2, y2) in zip(segment.coords, segment.coords[1:]):
+            self._index_span(segment.segment_id, x1, y1, x2, y2)
+
+    def _index_span(self, segment_id: str, x1, y1, x2, y2) -> None:
+        size = self._cell_degrees
+        cx1, cx2 = sorted((math.floor(x1 / size), math.floor(x2 / size)))
+        cy1, cy2 = sorted((math.floor(y1 / size), math.floor(y2 / size)))
+        for cx in range(cx1, cx2 + 1):
+            for cy in range(cy1, cy2 + 1):
+                bucket = self._grid.setdefault((cx, cy), [])
+                if not bucket or bucket[-1] != segment_id:
+                    bucket.append(segment_id)
+
+    # -- accessors ----------------------------------------------------------------
+    def segment(self, segment_id: str) -> RoadSegment:
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise ExecutionError(
+                f"unknown road segment {segment_id!r}") from None
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    # -- spatial lookup -------------------------------------------------------------
+    def candidates(self, lng: float, lat: float, radius_m: float = 50.0,
+                   max_candidates: int = 5) -> list[Candidate]:
+        """Segments whose geometry passes within ``radius_m`` of a point."""
+        size = self._cell_degrees
+        reach = max(1, math.ceil(radius_m / METERS_PER_DEGREE / size))
+        cx, cy = math.floor(lng / size), math.floor(lat / size)
+        seen: set[str] = set()
+        found: list[Candidate] = []
+        for gx in range(cx - reach, cx + reach + 1):
+            for gy in range(cy - reach, cy + reach + 1):
+                for segment_id in self._grid.get((gx, gy), ()):
+                    if segment_id in seen:
+                        continue
+                    seen.add(segment_id)
+                    candidate = self._project(self._segments[segment_id],
+                                              lng, lat)
+                    if candidate.distance_m <= radius_m:
+                        found.append(candidate)
+        found.sort(key=lambda c: c.distance_m)
+        return found[:max_candidates]
+
+    @staticmethod
+    def _project(segment: RoadSegment, lng: float,
+                 lat: float) -> Candidate:
+        best_d = float("inf")
+        best_point = segment.coords[0]
+        best_offset = 0.0
+        walked = 0.0
+        for (x1, y1), (x2, y2) in zip(segment.coords, segment.coords[1:]):
+            proj = _project_on_segment(lng, lat, x1, y1, x2, y2)
+            d_deg = point_segment_distance(lng, lat, x1, y1, x2, y2)
+            if d_deg < best_d:
+                best_d = d_deg
+                best_point = proj
+                best_offset = walked + haversine_distance_m(
+                    x1, y1, proj[0], proj[1])
+            walked += haversine_distance_m(x1, y1, x2, y2)
+        distance_m = haversine_distance_m(lng, lat, best_point[0],
+                                          best_point[1])
+        return Candidate(segment, best_point[0], best_point[1],
+                         distance_m, best_offset)
+
+    # -- routing ------------------------------------------------------------------------
+    def route_length_m(self, from_node: str, to_node: str) -> float:
+        """Shortest network distance between two nodes; inf if unreachable."""
+        if from_node == to_node:
+            return 0.0
+        try:
+            return nx.shortest_path_length(self.graph, from_node, to_node,
+                                           weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return float("inf")
+
+    # -- factories ------------------------------------------------------------------------
+    @classmethod
+    def grid(cls, min_lng: float, min_lat: float, cols: int, rows: int,
+             spacing_m: float = 500.0) -> "RoadNetwork":
+        """A Manhattan-style grid network (tests, examples, synthetics).
+
+        ``spacing_m`` is ground distance: the longitude step is widened by
+        1/cos(latitude) so horizontal and vertical segments have the same
+        physical length.
+        """
+        network = cls()
+        lat_step = spacing_m / METERS_PER_DEGREE
+        mid_lat = min_lat + rows * lat_step / 2.0
+        lng_step = lat_step / math.cos(math.radians(mid_lat))
+        for r in range(rows):
+            for c in range(cols):
+                network.add_node(f"n{r}_{c}", min_lng + c * lng_step,
+                                 min_lat + r * lat_step)
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    network.add_segment(f"h{r}_{c}", f"n{r}_{c}",
+                                        f"n{r}_{c + 1}")
+                if r + 1 < rows:
+                    network.add_segment(f"v{r}_{c}", f"n{r}_{c}",
+                                        f"n{r + 1}_{c}")
+        return network
+
+
+def _project_on_segment(px, py, ax, ay, bx, by) -> tuple[float, float]:
+    abx, aby = bx - ax, by - ay
+    denom = abx * abx + aby * aby
+    if denom == 0.0:
+        return (ax, ay)
+    t = max(0.0, min(1.0, ((px - ax) * abx + (py - ay) * aby) / denom))
+    return (ax + t * abx, ay + t * aby)

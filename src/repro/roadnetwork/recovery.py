@@ -1,0 +1,130 @@
+"""Map recovery from trajectories (the paper's Map Recovery System).
+
+Couriers walk and ride through living areas missing from commercial maps;
+their GPS tracks reveal the road skeleton.  The recovery pipeline here is
+density-based:
+
+1. rasterize every trajectory leg onto a uniform grid and count distinct
+   trajectories per cell;
+2. keep cells supported by at least ``min_support`` trajectories;
+3. connect kept cells that are 8-neighbours into road segments, estimate
+   each segment's speed from the samples that crossed it, and classify
+   the travel mode (walking / riding / driving) from the speed.
+
+The result is a :class:`RoadNetwork` whose segments carry ``speed_mps``
+and ``mode`` attributes, ready for path planning.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.geometry.distance import METERS_PER_DEGREE
+from repro.roadnetwork.network import RoadNetwork
+from repro.trajectory.model import Trajectory
+
+DEFAULT_CELL_M = 50.0
+DEFAULT_MIN_SUPPORT = 3
+
+#: Mode classification thresholds on mean speed (m/s).
+WALKING_MAX_MPS = 2.5
+RIDING_MAX_MPS = 8.0
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveredSegment:
+    """One recovered road segment with inferred attributes."""
+
+    segment_id: str
+    start: tuple[float, float]
+    end: tuple[float, float]
+    support: int
+    speed_mps: float
+    mode: str
+
+
+def classify_mode(speed_mps: float) -> str:
+    if speed_mps <= WALKING_MAX_MPS:
+        return "walking"
+    if speed_mps <= RIDING_MAX_MPS:
+        return "riding"
+    return "driving"
+
+
+def _cells_on_leg(x1, y1, x2, y2, size) -> list[tuple[int, int]]:
+    """Grid cells visited by the segment, sampled at sub-cell steps."""
+    steps = max(1, int(max(abs(x2 - x1), abs(y2 - y1)) / size * 2))
+    cells = []
+    last = None
+    for s in range(steps + 1):
+        t = s / steps
+        cell = (math.floor((x1 + (x2 - x1) * t) / size),
+                math.floor((y1 + (y2 - y1) * t) / size))
+        if cell != last:
+            cells.append(cell)
+            last = cell
+    return cells
+
+
+def recover_map(trajectories: list[Trajectory],
+                cell_m: float = DEFAULT_CELL_M,
+                min_support: int = DEFAULT_MIN_SUPPORT
+                ) -> tuple[RoadNetwork, list[RecoveredSegment]]:
+    """Recover a road network from trajectories.
+
+    Returns the network plus the recovered segment summaries.  Support is
+    counted in *distinct trajectories*, so a single vehicle idling in one
+    spot cannot fabricate a road.
+    """
+    size = cell_m / METERS_PER_DEGREE
+    support: dict[tuple[int, int], set[str]] = defaultdict(set)
+    speed_sum: dict[tuple[int, int], float] = defaultdict(float)
+    speed_count: dict[tuple[int, int], int] = defaultdict(int)
+
+    for trajectory in trajectories:
+        points = trajectory.points
+        for a, b in zip(points, points[1:]):
+            speed = a.speed_to_mps(b)
+            if math.isinf(speed):
+                continue
+            for cell in _cells_on_leg(a.lng, a.lat, b.lng, b.lat, size):
+                support[cell].add(trajectory.tid)
+                speed_sum[cell] += speed
+                speed_count[cell] += 1
+
+    kept = {cell for cell, tids in support.items()
+            if len(tids) >= min_support}
+
+    network = RoadNetwork(index_cell_m=cell_m)
+    for cx, cy in kept:
+        network.add_node(f"c{cx}_{cy}", (cx + 0.5) * size,
+                         (cy + 0.5) * size)
+
+    segments: list[RecoveredSegment] = []
+    # Connect 8-neighbours; to avoid duplicates only look "forward".
+    neighbour_offsets = ((1, 0), (0, 1), (1, 1), (1, -1))
+    for cx, cy in sorted(kept):
+        for dx, dy in neighbour_offsets:
+            other = (cx + dx, cy + dy)
+            if other not in kept:
+                continue
+            cell_a, cell_b = (cx, cy), other
+            samples = speed_count[cell_a] + speed_count[cell_b]
+            mean_speed = ((speed_sum[cell_a] + speed_sum[cell_b]) / samples
+                          if samples else 0.0)
+            mode = classify_mode(mean_speed)
+            seg_support = len(support[cell_a] & support[cell_b]) or \
+                min(len(support[cell_a]), len(support[cell_b]))
+            segment_id = f"r{cx}_{cy}_{other[0]}_{other[1]}"
+            network.add_segment(segment_id, f"c{cx}_{cy}",
+                                f"c{other[0]}_{other[1]}",
+                                speed_mps=mean_speed, mode=mode,
+                                support=seg_support)
+            segments.append(RecoveredSegment(
+                segment_id,
+                network.node_position(f"c{cx}_{cy}"),
+                network.node_position(f"c{other[0]}_{other[1]}"),
+                seg_support, mean_speed, mode))
+    return network, segments

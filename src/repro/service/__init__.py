@@ -1,0 +1,14 @@
+"""Service layer (Section VII): shared context, users, sessions, SDK.
+
+JUST runs as a PaaS: one shared execution context serves every user
+(eliminating per-query Spark-session construction), and each user's
+tables and views live in a private namespace implemented as an invisible
+name prefix.  ``JustClient`` is the SDK: it talks to the server and
+exposes the cursor-style result interface of the paper's code snippet.
+"""
+
+from repro.service.session import SessionManager, UserSession
+from repro.service.server import JustServer
+from repro.service.client import JustClient
+
+__all__ = ["SessionManager", "UserSession", "JustServer", "JustClient"]

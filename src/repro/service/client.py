@@ -1,0 +1,52 @@
+"""The SDK client (Java/Python SDK equivalent).
+
+Usage, matching the paper's snippet::
+
+    client = JustClient(server, user="alice")
+    rs = client.execute_query(sql)
+    while rs.has_next():
+        row = rs.next()
+        ...
+
+The client owns one server session and re-connects transparently when the
+session times out, so long-lived notebooks keep working.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SessionError
+from repro.service.server import JustServer
+from repro.sql.result import ResultSet
+
+
+class JustClient:
+    """A connected SDK client for one user."""
+
+    def __init__(self, server: JustServer, user: str):
+        self.server = server
+        self.user = user
+        self._session_id = server.connect(user)
+
+    @property
+    def session_id(self) -> str:
+        return self._session_id
+
+    def execute_query(self, statement: str) -> ResultSet:
+        """Execute one JustQL statement; reconnects on session timeout."""
+        try:
+            return self.server.execute(self._session_id, statement)
+        except SessionError:
+            self._session_id = self.server.connect(self.user)
+            return self.server.execute(self._session_id, statement)
+
+    # The paper's SDKs are Java-flavoured; keep the camelCase spelling too.
+    executeQuery = execute_query
+
+    def close(self) -> None:
+        self.server.disconnect(self._session_id)
+
+    def __enter__(self) -> "JustClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

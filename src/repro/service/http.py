@@ -1,0 +1,248 @@
+"""The HTTP/JSON transport of the PaaS (Section VII-B).
+
+The paper's SDKs talk to JUST over HTTP.  This module provides that
+transport boundary in-process: requests and responses are pure
+JSON-serializable dictionaries (checked by round-tripping through
+``json``), value types are wire-encoded (geometries as WKT, series as
+sample lists, trajectories as objects), and large results are fetched
+chunk by chunk through a handle — the Figure 2 multi-transmission path
+made explicit.
+
+``JustHttpServer.handle`` is the single entry point a real WSGI/ASGI
+binding would call; ``JustHttpClient`` is an SDK built purely on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from repro.errors import JustError, SessionError
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+from repro.geometry.wkt import from_wkt, to_wkt
+from repro.service.server import JustServer
+from repro.sql.result import ResultSet
+from repro.trajectory.model import STSeries, Trajectory, TSeries
+
+#: Rows per fetch of the chunked result path.
+DEFAULT_PAGE_ROWS = 500
+
+
+# -- wire encoding --------------------------------------------------------------
+
+def encode_value(value):
+    """Encode one cell value as JSON-safe data with a type tag."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Geometry):
+        return {"@type": "wkt", "wkt": to_wkt(value)}
+    if isinstance(value, Envelope):
+        return {"@type": "mbr", "bounds": list(value.as_tuple())}
+    if isinstance(value, STSeries):
+        return {"@type": "st_series",
+                "points": [[p.lng, p.lat, p.time] for p in value]}
+    if isinstance(value, TSeries):
+        return {"@type": "t_series",
+                "samples": [list(s) for s in value]}
+    if isinstance(value, Trajectory):
+        return {"@type": "trajectory", "tid": value.tid,
+                "oid": value.oid,
+                "points": [[p.lng, p.lat, p.time] for p in value.points]}
+    # Fallback: readable representation (StayPoint, MatchedPoint, ...).
+    return {"@type": "repr", "repr": repr(value)}
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value` for the tagged encodings."""
+    if not isinstance(value, dict) or "@type" not in value:
+        return value
+    tag = value["@type"]
+    if tag == "wkt":
+        return from_wkt(value["wkt"])
+    if tag == "mbr":
+        return Envelope(*value["bounds"])
+    if tag == "st_series":
+        return STSeries([tuple(p) for p in value["points"]])
+    if tag == "t_series":
+        return TSeries([tuple(s) for s in value["samples"]])
+    if tag == "trajectory":
+        return Trajectory(value["tid"], value["oid"],
+                          STSeries([tuple(p) for p in value["points"]]))
+    return value.get("repr")
+
+
+def encode_row(row: dict) -> dict:
+    return {key: encode_value(value) for key, value in row.items()}
+
+
+def decode_row(row: dict) -> dict:
+    return {key: decode_value(value) for key, value in row.items()}
+
+
+# -- server ------------------------------------------------------------------------
+
+class JustHttpServer:
+    """Routes JSON requests onto a :class:`JustServer`.
+
+    Endpoints (the ``path`` field of a request):
+
+    * ``POST /connect``      {user} -> {session}
+    * ``POST /disconnect``   {session} -> {}
+    * ``POST /execute``      {session, sql} -> {columns, rows, sim_ms}
+      for small results, or {handle, columns, total_rows, sim_ms} for
+      large ones (fetched via /fetch).
+    * ``POST /fetch``        {handle} -> {rows, done}
+    """
+
+    def __init__(self, server: JustServer | None = None,
+                 page_rows: int = DEFAULT_PAGE_ROWS):
+        self.server = server if server is not None else JustServer()
+        self.page_rows = page_rows
+        self._handles: dict[str, ResultSet] = {}
+        self._handle_ids = itertools.count(1)
+
+    # -- entry point ----------------------------------------------------------
+    def handle(self, request: dict) -> dict:
+        """Dispatch one request; always returns a JSON-safe response.
+
+        Engine errors become ``{"error": ..., "kind": ...}`` responses
+        with the exception class name, never raised across the wire.
+        """
+        try:
+            response = self._route(request)
+        except JustError as exc:
+            response = {"error": str(exc), "kind": type(exc).__name__}
+        # Guarantee the transport property: everything must survive JSON.
+        return json.loads(json.dumps(response))
+
+    def _route(self, request: dict) -> dict:
+        path = request.get("path")
+        if path == "/connect":
+            return {"session": self.server.connect(request["user"])}
+        if path == "/disconnect":
+            self.server.disconnect(request["session"])
+            return {}
+        if path == "/execute":
+            return self._execute(request)
+        if path == "/fetch":
+            return self._fetch(request)
+        return {"error": f"unknown path {path!r}", "kind": "RouteError"}
+
+    def _execute(self, request: dict) -> dict:
+        result = self.server.execute(request["session"], request["sql"])
+        rows = result.rows
+        base = {"columns": result.columns,
+                "sim_ms": round(result.sim_ms, 3)}
+        if len(rows) <= self.page_rows:
+            base["rows"] = [encode_row(row) for row in rows]
+            return base
+        handle = f"h{next(self._handle_ids)}"
+        self._handles[handle] = result
+        base["handle"] = handle
+        base["total_rows"] = len(rows)
+        return base
+
+    def _fetch(self, request: dict) -> dict:
+        handle = request["handle"]
+        result = self._handles.get(handle)
+        if result is None:
+            return {"error": f"unknown or exhausted handle {handle!r}",
+                    "kind": "HandleError"}
+        rows = []
+        while result.has_next() and len(rows) < self.page_rows:
+            rows.append(encode_row(result.next()))
+        done = not result.has_next()
+        if done:
+            del self._handles[handle]
+        return {"rows": rows, "done": done}
+
+
+# -- client -----------------------------------------------------------------------
+
+class JustHttpClient:
+    """An SDK speaking only the JSON protocol (no engine imports).
+
+    Matches the paper's snippet: ``execute_query`` returns an object
+    with ``has_next``/``next`` that transparently pages large results
+    through ``/fetch``.
+    """
+
+    def __init__(self, transport: JustHttpServer, user: str):
+        self._transport = transport
+        self.user = user
+        self._session = self._connect()
+
+    def _connect(self) -> str:
+        response = self._transport.handle(
+            {"path": "/connect", "user": self.user})
+        return response["session"]
+
+    def execute_query(self, sql: str) -> "HttpResultSet":
+        response = self._transport.handle(
+            {"path": "/execute", "session": self._session, "sql": sql})
+        if response.get("kind") == "SessionError":
+            self._session = self._connect()
+            response = self._transport.handle(
+                {"path": "/execute", "session": self._session,
+                 "sql": sql})
+        if "error" in response:
+            raise SessionError(response["error"]) \
+                if response.get("kind") == "SessionError" \
+                else _raise_remote(response)
+        return HttpResultSet(self._transport, response)
+
+    def close(self) -> None:
+        self._transport.handle({"path": "/disconnect",
+                                "session": self._session})
+
+    def __enter__(self) -> "JustHttpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _raise_remote(response: dict):
+    raise JustError(f"[{response.get('kind')}] {response['error']}")
+
+
+class HttpResultSet:
+    """Client-side cursor over a (possibly chunked) remote result."""
+
+    def __init__(self, transport: JustHttpServer, response: dict):
+        self._transport = transport
+        self.columns = response.get("columns", [])
+        self.sim_ms = response.get("sim_ms", 0.0)
+        self._buffer = [decode_row(r) for r in response.get("rows", [])]
+        self._handle = response.get("handle")
+        self.total_rows = response.get("total_rows",
+                                       len(self._buffer))
+        self._position = 0
+
+    def has_next(self) -> bool:
+        if self._position < len(self._buffer):
+            return True
+        if self._handle is None:
+            return False
+        fetched = self._transport.handle(
+            {"path": "/fetch", "handle": self._handle})
+        if "error" in fetched:
+            self._handle = None
+            return False
+        self._buffer = [decode_row(r) for r in fetched["rows"]]
+        self._position = 0
+        if fetched["done"]:
+            self._handle = None
+        return bool(self._buffer)
+
+    def next(self) -> dict:
+        if not self.has_next():
+            raise StopIteration("result set exhausted")
+        row = self._buffer[self._position]
+        self._position += 1
+        return row
+
+    def __iter__(self):
+        while self.has_next():
+            yield self.next()

@@ -1,0 +1,58 @@
+"""The JUST server: one shared engine, many isolated users."""
+
+from __future__ import annotations
+
+from repro.core.engine import JustEngine
+from repro.service.session import (
+    DEFAULT_SESSION_TIMEOUT_S,
+    SessionManager,
+    UserSession,
+)
+from repro.sql.result import ResultSet
+
+
+class JustServer:
+    """Multi-user facade over a single shared :class:`JustEngine`.
+
+    The shared engine plays the role of the always-on Spark context the
+    paper keeps via Spark Job Server: no per-user startup cost.  Every
+    statement executes inside the session user's namespace, so users never
+    see (or collide with) each other's tables and views.
+    """
+
+    def __init__(self, engine: JustEngine | None = None,
+                 session_timeout_s: float = DEFAULT_SESSION_TIMEOUT_S):
+        self.engine = engine if engine is not None else JustEngine()
+        self.sessions = SessionManager(session_timeout_s)
+
+    def connect(self, user: str) -> str:
+        """Open a session for a user; returns the session id."""
+        return self.sessions.create(user).session_id
+
+    def disconnect(self, session_id: str) -> None:
+        session = self.sessions.close(session_id)
+        if session is not None:
+            self._drop_user_views(session)
+
+    def execute(self, session_id: str, statement: str) -> ResultSet:
+        """Run one JustQL statement in the session's namespace."""
+        self._expire_stale()
+        session = self.sessions.get(session_id)
+        return self.engine.sql(statement, namespace=session.namespace)
+
+    def _expire_stale(self) -> None:
+        for session in self.sessions.expire_idle():
+            self._drop_user_views(session)
+
+    def _drop_user_views(self, session: UserSession) -> None:
+        """Session death clears the user's cached views (Section IV-D)."""
+        for name in self.engine.view_names(session.namespace):
+            self.engine.drop_view(name)
+
+    # -- administration ------------------------------------------------------
+    def user_tables(self, user: str) -> list[str]:
+        prefix = f"{user}__"
+        return [n[len(prefix):] for n in self.engine.table_names(prefix)]
+
+    def active_users(self) -> list[str]:
+        return sorted({s.user for s in self.sessions.active_sessions()})

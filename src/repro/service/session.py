@@ -1,0 +1,79 @@
+"""User sessions and namespaces."""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.errors import SessionError
+
+_SESSION_IDS = itertools.count(1)
+
+#: Sessions idle longer than this are expired (and their views dropped).
+DEFAULT_SESSION_TIMEOUT_S = 30 * 60.0
+
+
+@dataclass
+class UserSession:
+    """One authenticated user session."""
+
+    user: str
+    session_id: str
+    created_at: float = field(default_factory=_time.monotonic)
+    last_active_at: float = field(default_factory=_time.monotonic)
+
+    @property
+    def namespace(self) -> str:
+        """The invisible prefix isolating this user's tables and views."""
+        return f"{self.user}__"
+
+    def touch(self, now: float | None = None) -> None:
+        self.last_active_at = now if now is not None else _time.monotonic()
+
+    def idle_seconds(self, now: float | None = None) -> float:
+        now = now if now is not None else _time.monotonic()
+        return now - self.last_active_at
+
+
+class SessionManager:
+    """Creates, resolves, and expires sessions."""
+
+    def __init__(self, timeout_s: float = DEFAULT_SESSION_TIMEOUT_S):
+        self.timeout_s = timeout_s
+        self._sessions: dict[str, UserSession] = {}
+
+    def create(self, user: str) -> UserSession:
+        if not user or "__" in user:
+            raise SessionError(
+                f"invalid user name {user!r} (must be non-empty and must "
+                f"not contain '__')")
+        session = UserSession(user, f"s{next(_SESSION_IDS)}")
+        self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str,
+            now: float | None = None) -> UserSession:
+        try:
+            session = self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session {session_id!r}") from None
+        if session.idle_seconds(now) > self.timeout_s:
+            del self._sessions[session_id]
+            raise SessionError(f"session {session_id!r} timed out")
+        session.touch(now)
+        return session
+
+    def expire_idle(self, now: float | None = None) -> list[UserSession]:
+        """Drop idle sessions; returns them so views can be cleaned up."""
+        expired = [s for s in self._sessions.values()
+                   if s.idle_seconds(now) > self.timeout_s]
+        for session in expired:
+            del self._sessions[session.session_id]
+        return expired
+
+    def active_sessions(self) -> list[UserSession]:
+        return list(self._sessions.values())
+
+    def close(self, session_id: str) -> UserSession | None:
+        return self._sessions.pop(session_id, None)

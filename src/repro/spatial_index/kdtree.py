@@ -1,0 +1,95 @@
+"""A 2D k-d tree (MD-HBase / BBoxDB global partitioning)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.geometry.envelope import Envelope
+
+
+class _KDNode:
+    __slots__ = ("point", "value", "axis", "left", "right")
+
+    def __init__(self, point, value, axis):
+        self.point = point
+        self.value = value
+        self.axis = axis
+        self.left: _KDNode | None = None
+        self.right: _KDNode | None = None
+
+
+class KDTree:
+    """Balanced k-d tree bulk-built over ``(lng, lat, value)`` points."""
+
+    def __init__(self, points: list[tuple[float, float, object]]):
+        self.size = len(points)
+        self.root = self._build(list(points), 0)
+
+    def _build(self, points, depth) -> _KDNode | None:
+        if not points:
+            return None
+        axis = depth % 2
+        points.sort(key=lambda p: p[axis])
+        median = len(points) // 2
+        lng, lat, value = points[median]
+        node = _KDNode((lng, lat), value, axis)
+        node.left = self._build(points[:median], depth + 1)
+        node.right = self._build(points[median + 1:], depth + 1)
+        return node
+
+    def range_query(self, query: Envelope) -> list[object]:
+        """Values whose point lies inside ``query``."""
+        out: list[object] = []
+        self.last_nodes_visited = 0
+        lo = (query.min_lng, query.min_lat)
+        hi = (query.max_lng, query.max_lat)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            self.last_nodes_visited += 1
+            axis = node.axis
+            if query.contains_point(*node.point):
+                out.append(node.value)
+            if node.point[axis] >= lo[axis]:
+                stack.append(node.left)
+            if node.point[axis] <= hi[axis]:
+                stack.append(node.right)
+        return out
+
+    def knn(self, lng: float, lat: float, k: int) -> list[object]:
+        """k nearest values by planar distance (best-first)."""
+        if self.root is None or k <= 0:
+            return []
+        counter = itertools.count()
+        # Max-heap of current best k: (-distance, n, value)
+        best: list[tuple[float, int, object]] = []
+        query = (lng, lat)
+
+        def visit(node: _KDNode | None) -> None:
+            if node is None:
+                return
+            dx = node.point[0] - lng
+            dy = node.point[1] - lat
+            distance = (dx * dx + dy * dy) ** 0.5
+            if len(best) < k:
+                heapq.heappush(best, (-distance, next(counter), node.value))
+            elif distance < -best[0][0]:
+                heapq.heapreplace(best,
+                                  (-distance, next(counter), node.value))
+            axis = node.axis
+            diff = query[axis] - node.point[axis]
+            near, far = (node.left, node.right) if diff < 0 \
+                else (node.right, node.left)
+            visit(near)
+            if len(best) < k or abs(diff) < -best[0][0]:
+                visit(far)
+
+        visit(self.root)
+        ordered = sorted(best, key=lambda item: -item[0])
+        return [value for _d, _n, value in ordered]
+
+    def memory_bytes(self) -> int:
+        return self.size * 88

@@ -1,0 +1,93 @@
+"""A point quad-tree (LocationSpark's local index)."""
+
+from __future__ import annotations
+
+from repro.geometry.envelope import Envelope
+
+DEFAULT_LEAF_CAPACITY = 32
+DEFAULT_MAX_DEPTH = 16
+
+
+class _QNode:
+    __slots__ = ("envelope", "points", "children", "depth")
+
+    def __init__(self, envelope: Envelope, depth: int):
+        self.envelope = envelope
+        self.points: list[tuple[float, float, object]] | None = []
+        self.children: tuple[_QNode, ...] | None = None
+        self.depth = depth
+
+
+class QuadTree:
+    """A region quad-tree over ``(lng, lat, value)`` points."""
+
+    def __init__(self, bounds: Envelope,
+                 leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+                 max_depth: int = DEFAULT_MAX_DEPTH):
+        self.bounds = bounds
+        self.leaf_capacity = leaf_capacity
+        self.max_depth = max_depth
+        self.root = _QNode(bounds, 0)
+        self.size = 0
+
+    def insert(self, lng: float, lat: float, value: object) -> bool:
+        """Insert a point; returns False when outside the tree bounds."""
+        if not self.bounds.contains_point(lng, lat):
+            return False
+        node = self.root
+        while node.children is not None:
+            node = self._child_for(node, lng, lat)
+        node.points.append((lng, lat, value))
+        self.size += 1
+        if (len(node.points) > self.leaf_capacity
+                and node.depth < self.max_depth):
+            self._split(node)
+        return True
+
+    def _child_for(self, node: _QNode, lng: float, lat: float) -> _QNode:
+        cx, cy = node.envelope.center
+        index = (1 if lng >= cx else 0) | (2 if lat >= cy else 0)
+        return node.children[index]
+
+    def _split(self, node: _QNode) -> None:
+        quadrants = node.envelope.quadrants()  # SW, SE, NW, NE
+        node.children = tuple(_QNode(q, node.depth + 1) for q in quadrants)
+        points = node.points
+        node.points = None
+        for lng, lat, value in points:
+            self._child_for(node, lng, lat).points.append((lng, lat, value))
+        for child in node.children:
+            if (len(child.points) > self.leaf_capacity
+                    and child.depth < self.max_depth):
+                self._split(child)
+
+    def range_query(self, query: Envelope) -> list[object]:
+        """Values inside ``query``; counts nodes visited."""
+        self.last_nodes_visited = 0
+        out: list[object] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self.last_nodes_visited += 1
+            if not node.envelope.intersects(query):
+                continue
+            if node.children is not None:
+                stack.extend(node.children)
+                continue
+            for lng, lat, value in node.points:
+                if query.contains_point(lng, lat):
+                    out.append(value)
+        return out
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.children is not None:
+                stack.extend(node.children)
+        return count
+
+    def memory_bytes(self) -> int:
+        return self.size * 56 + self.node_count() * 88

@@ -1,0 +1,166 @@
+"""An STR-bulk-loaded R-tree."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+from repro.geometry.envelope import Envelope
+
+DEFAULT_NODE_CAPACITY = 16
+
+
+class _Node:
+    __slots__ = ("envelope", "children", "entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.children: list[_Node] = []
+        self.entries: list[tuple[Envelope, object]] = []
+        self.envelope: Envelope | None = None
+
+    def recompute_envelope(self) -> None:
+        envelopes = ([e for e, _v in self.entries] if self.is_leaf
+                     else [c.envelope for c in self.children])
+        self.envelope = Envelope.union_all(envelopes)
+
+
+class RTree:
+    """Sort-Tile-Recursive packed R-tree over ``(envelope, value)`` pairs.
+
+    Bulk loading is the construction path the Spark-based systems use
+    (build once over an RDD partition); there is no incremental insert,
+    matching those systems' inability to update without a rebuild.
+    """
+
+    def __init__(self, items: list[tuple[Envelope, object]],
+                 node_capacity: int = DEFAULT_NODE_CAPACITY):
+        if node_capacity < 2:
+            raise ValueError("node_capacity must be >= 2")
+        self.node_capacity = node_capacity
+        self.size = len(items)
+        self._height = 0
+        self.root = self._bulk_load(list(items))
+
+    # -- construction --------------------------------------------------------
+    def _bulk_load(self, items) -> _Node | None:
+        if not items:
+            return None
+        leaves = self._pack_leaves(items)
+        level = leaves
+        self._height = 1
+        while len(level) > 1:
+            level = self._pack_internal(level)
+            self._height += 1
+        return level[0]
+
+    def _pack_leaves(self, items) -> list[_Node]:
+        capacity = self.node_capacity
+        num_leaves = math.ceil(len(items) / capacity)
+        slices = max(1, math.ceil(math.sqrt(num_leaves)))
+        items.sort(key=lambda it: it[0].center[0])
+        per_slice = math.ceil(len(items) / slices)
+        leaves = []
+        for i in range(0, len(items), per_slice):
+            strip = sorted(items[i:i + per_slice],
+                           key=lambda it: it[0].center[1])
+            for j in range(0, len(strip), capacity):
+                node = _Node(is_leaf=True)
+                node.entries = strip[j:j + capacity]
+                node.recompute_envelope()
+                leaves.append(node)
+        return leaves
+
+    def _pack_internal(self, nodes: list[_Node]) -> list[_Node]:
+        capacity = self.node_capacity
+        num_parents = math.ceil(len(nodes) / capacity)
+        slices = max(1, math.ceil(math.sqrt(num_parents)))
+        nodes.sort(key=lambda n: n.envelope.center[0])
+        per_slice = math.ceil(len(nodes) / slices)
+        parents = []
+        for i in range(0, len(nodes), per_slice):
+            strip = sorted(nodes[i:i + per_slice],
+                           key=lambda n: n.envelope.center[1])
+            for j in range(0, len(strip), capacity):
+                parent = _Node(is_leaf=False)
+                parent.children = strip[j:j + capacity]
+                parent.recompute_envelope()
+                parents.append(parent)
+        return parents
+
+    # -- queries --------------------------------------------------------------
+    def range_query(self, query: Envelope) -> list[object]:
+        """Values whose envelope intersects ``query``.
+
+        Also returns the number of index nodes visited via
+        :attr:`last_nodes_visited` (the baselines' scan-cost metric).
+        """
+        self.last_nodes_visited = 0
+        out: list[object] = []
+        if self.root is None:
+            return out
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self.last_nodes_visited += 1
+            if not node.envelope.intersects(query):
+                continue
+            if node.is_leaf:
+                out.extend(value for envelope, value in node.entries
+                           if envelope.intersects(query))
+            else:
+                stack.extend(node.children)
+        return out
+
+    def knn(self, lng: float, lat: float, k: int) -> list[object]:
+        """Best-first k nearest values by envelope distance."""
+        if self.root is None or k <= 0:
+            return []
+        self.last_nodes_visited = 0
+        counter = itertools.count()
+        heap: list[tuple[float, int, object, bool]] = [
+            (self.root.envelope.min_distance_to_point(lng, lat),
+             next(counter), self.root, False)]
+        out: list[object] = []
+        while heap and len(out) < k:
+            distance, _n, item, is_value = heapq.heappop(heap)
+            if is_value:
+                out.append(item)
+                continue
+            node: _Node = item
+            self.last_nodes_visited += 1
+            if node.is_leaf:
+                for envelope, value in node.entries:
+                    heapq.heappush(
+                        heap,
+                        (envelope.min_distance_to_point(lng, lat),
+                         next(counter), value, True))
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (child.envelope.min_distance_to_point(lng, lat),
+                         next(counter), child, False))
+        return out
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def node_count(self) -> int:
+        if self.root is None:
+            return 0
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint (entries + node overhead)."""
+        return self.size * 72 + self.node_count() * 96

@@ -1,0 +1,220 @@
+"""Top-level statement execution (parse -> analyze -> optimize -> run)."""
+
+from __future__ import annotations
+
+from repro.core.schema import Field, Schema
+from repro.errors import AnalysisError, ExecutionError
+from repro.sql.analyzer import analyze_select
+from repro.sql.ast import (
+    CreateTableStmt,
+    ExplainStmt,
+    CreateViewStmt,
+    DescStmt,
+    DropStmt,
+    InsertStmt,
+    LoadStmt,
+    SelectStmt,
+    ShowStmt,
+    StoreViewStmt,
+)
+from repro.sql.expressions import eval_expr
+from repro.sql.optimizer import optimize
+from repro.sql.parser import parse_statement
+from repro.sql.physical import execute_plan
+from repro.sql.result import ResultSet
+
+
+def execute_statement(engine, statement: str,
+                      namespace: str = "") -> ResultSet:
+    """Parse and execute one JustQL statement against an engine.
+
+    ``namespace`` is the per-user prefix the service layer adds to table
+    and view names; it is invisible in the statement text and stripped
+    from listings.
+    """
+    stmt = parse_statement(statement)
+    if isinstance(stmt, SelectStmt):
+        return _run_select(engine, stmt, namespace)
+    if isinstance(stmt, ExplainStmt):
+        plan = optimize(analyze_select(engine, stmt.select, namespace))
+        rows = [{"plan": line} for line in plan.pretty().splitlines()]
+        return ResultSet.from_rows(rows, ["plan"])
+    if isinstance(stmt, CreateTableStmt):
+        return _run_create_table(engine, stmt, namespace)
+    if isinstance(stmt, CreateViewStmt):
+        return _run_create_view(engine, stmt, namespace)
+    if isinstance(stmt, StoreViewStmt):
+        engine.store_view_to_table(namespace + stmt.view,
+                                   namespace + stmt.table)
+        return ResultSet.status(f"view {stmt.view} stored to table "
+                                f"{stmt.table}")
+    if isinstance(stmt, DropStmt):
+        if stmt.kind == "table":
+            engine.drop_table(namespace + stmt.name)
+        else:
+            engine.drop_view(namespace + stmt.name)
+        return ResultSet.status(f"{stmt.kind} {stmt.name} dropped")
+    if isinstance(stmt, ShowStmt):
+        return _run_show(engine, stmt, namespace)
+    if isinstance(stmt, DescStmt):
+        return _run_desc(engine, stmt, namespace)
+    if isinstance(stmt, InsertStmt):
+        return _run_insert(engine, stmt, namespace)
+    if isinstance(stmt, LoadStmt):
+        return _run_load(engine, stmt, namespace)
+    raise ExecutionError(f"unhandled statement {type(stmt).__name__}")
+
+
+# -- SELECT -----------------------------------------------------------------------
+
+def _run_select(engine, stmt: SelectStmt, namespace: str) -> ResultSet:
+    plan = analyze_select(engine, stmt, namespace)
+    plan = optimize(plan)
+    job = engine.cluster.job()
+    job.charge_fixed("driver", engine.cluster.model.query_overhead_ms)
+    df = execute_plan(plan, engine, job)
+    return ResultSet.from_dataframe(df, job)
+
+
+def explain(engine, statement: str, namespace: str = "") -> str:
+    """The optimized logical plan as text (debugging/tests)."""
+    stmt = parse_statement(statement)
+    if not isinstance(stmt, SelectStmt):
+        raise ExecutionError("EXPLAIN supports SELECT statements only")
+    return optimize(analyze_select(engine, stmt, namespace)).pretty()
+
+
+# -- DDL ----------------------------------------------------------------------------
+
+def _run_create_table(engine, stmt: CreateTableStmt,
+                      namespace: str) -> ResultSet:
+    name = namespace + stmt.name
+    if stmt.plugin is not None:
+        engine.create_plugin_table(name, stmt.plugin,
+                                   stmt.userdata or None)
+        return ResultSet.status(
+            f"plugin table {stmt.name} created as {stmt.plugin}")
+    fields = [Field.parse(cname, spec) for cname, spec in stmt.columns]
+    schema = Schema(fields)
+    engine.create_table(name, schema, stmt.userdata or None)
+    return ResultSet.status(f"table {stmt.name} created")
+
+
+def _run_create_view(engine, stmt: CreateViewStmt,
+                     namespace: str) -> ResultSet:
+    plan = optimize(analyze_select(engine, stmt.select, namespace))
+    job = engine.cluster.job()
+    job.charge_fixed("driver", engine.cluster.model.query_overhead_ms)
+    df = execute_plan(plan, engine, job)
+    engine.create_view(namespace + stmt.name, df,
+                       owner=namespace or None)
+    return ResultSet.status(f"view {stmt.name} created "
+                            f"({df.count()} rows cached)", job)
+
+
+def _run_show(engine, stmt: ShowStmt, namespace: str) -> ResultSet:
+    if stmt.kind == "tables":
+        names = engine.table_names(namespace)
+        column = "table"
+    else:
+        names = engine.view_names(namespace)
+        column = "view"
+    rows = [{column: n[len(namespace):]} for n in names]
+    return ResultSet.from_rows(rows, [column])
+
+
+def _run_desc(engine, stmt: DescStmt, namespace: str) -> ResultSet:
+    name = namespace + stmt.name
+    if engine.has_view(name):
+        rows = engine.view(name).describe()
+    else:
+        rows = engine.catalog.describe(name)
+    return ResultSet.from_rows(rows, ["field", "type", "flags"])
+
+
+# -- DML ------------------------------------------------------------------------------
+
+def _run_insert(engine, stmt: InsertStmt, namespace: str) -> ResultSet:
+    name = namespace + stmt.table
+    table = engine.table(name)
+    columns = stmt.columns or table.schema.names
+    rows = []
+    for value_exprs in stmt.rows:
+        if len(value_exprs) != len(columns):
+            raise AnalysisError(
+                f"INSERT row has {len(value_exprs)} values for "
+                f"{len(columns)} columns")
+        row = {}
+        for column, expr in zip(columns, value_exprs):
+            row[column] = eval_expr(expr, {})
+        rows.append(row)
+    result = engine.insert(name, rows)
+    return ResultSet.status(f"{len(rows)} rows inserted", result.job)
+
+
+def _run_load(engine, stmt: LoadStmt, namespace: str) -> ResultSet:
+    row_filter, limit = _parse_load_filter(stmt.filter_text)
+    result = engine.load(stmt.source, namespace + stmt.table, stmt.config,
+                         row_filter, limit)
+    return ResultSet.status(
+        f"{result.extra['loaded']} rows loaded into {stmt.table}",
+        result.job)
+
+
+def _parse_load_filter(filter_text: str | None):
+    """Parse a LOAD FILTER string such as ``'trajId="1068" limit 10'``.
+
+    The predicate part is a JustQL expression evaluated against source
+    rows; equality comparisons are string-tolerant because file sources
+    yield strings.
+    """
+    if not filter_text:
+        return None, None
+    text = filter_text.strip()
+    limit = None
+    lowered = text.lower()
+    if " limit " in f" {lowered} ":
+        index = lowered.rfind("limit ")
+        limit = int(text[index + len("limit "):].strip())
+        text = text[:index].strip()
+    if not text:
+        return None, limit
+
+    expr = _parse_filter_expr(text)
+
+    def row_filter(source_row: dict) -> bool:
+        try:
+            if eval_expr(expr, source_row) is True:
+                return True
+        except (TypeError, ExecutionError):
+            pass
+        coerced = {k: _coerce_scalar(v) for k, v in source_row.items()}
+        try:
+            return eval_expr(expr, coerced) is True
+        except (TypeError, ExecutionError):
+            return False
+
+    return row_filter, limit
+
+
+def _parse_filter_expr(text: str):
+    from repro.sql.lexer import tokenize
+    from repro.sql.parser import _Parser
+
+    parser = _Parser(text)
+    parser.tokens = tokenize(text)
+    expr = parser._parse_expr()  # noqa: SLF001 — reuse expression grammar
+    if parser.peek().kind != "end":
+        raise AnalysisError(f"trailing input in FILTER: "
+                            f"{parser.peek().text!r}")
+    return expr
+
+
+def _coerce_scalar(value):
+    """Make file-source strings comparable against numeric literals."""
+    if isinstance(value, str):
+        try:
+            return float(value) if "." in value else int(value)
+        except ValueError:
+            return value
+    return value

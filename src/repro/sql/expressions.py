@@ -1,0 +1,231 @@
+"""Expression evaluation and manipulation utilities."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ExecutionError
+from repro.sql.ast import (
+    Aliased,
+    Between,
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    InFunc,
+    IsNull,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.functions import (
+    SCALAR_FUNCTIONS,
+    SET_FUNCTIONS,
+    lookup_scalar,
+)
+
+
+def eval_expr(expr: Expr, row: dict,
+              extra_functions: dict | None = None):
+    """Evaluate an expression against one row (dict of column values)."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Column):
+        if expr.name not in row:
+            raise ExecutionError(f"unknown column {expr.name!r}")
+        return row[expr.name]
+    if isinstance(expr, Aliased):
+        return eval_expr(expr.expr, row, extra_functions)
+    if isinstance(expr, UnaryOp):
+        value = eval_expr(expr.operand, row, extra_functions)
+        if expr.op == "-":
+            return None if value is None else -value
+        if expr.op == "not":
+            return None if value is None else not _truthy(value)
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Between):
+        value = eval_expr(expr.operand, row, extra_functions)
+        low = eval_expr(expr.low, row, extra_functions)
+        high = eval_expr(expr.high, row, extra_functions)
+        if value is None or low is None or high is None:
+            return None
+        return low <= value <= high
+    if isinstance(expr, IsNull):
+        value = eval_expr(expr.operand, row, extra_functions)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, BinaryOp):
+        return _eval_binary(expr, row, extra_functions)
+    if isinstance(expr, FuncCall):
+        if extra_functions and expr.name in extra_functions:
+            fn = extra_functions[expr.name]
+        elif expr.name in SET_FUNCTIONS:
+            raise ExecutionError(
+                f"{expr.name} produces multiple rows; use it as the "
+                f"projection of a SELECT")
+        else:
+            fn = lookup_scalar(expr.name)
+        args = [eval_expr(a, row, extra_functions) for a in expr.args]
+        return fn(*args)
+    if isinstance(expr, InFunc):
+        raise ExecutionError(
+            f"{expr.func.name} membership must be served by the planner")
+    if isinstance(expr, Star):
+        raise ExecutionError("'*' is not a value expression")
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _truthy(value) -> bool:
+    return bool(value)
+
+
+def _eval_binary(expr: BinaryOp, row: dict, extra_functions):
+    op = expr.op
+    if op == "and":
+        left = eval_expr(expr.left, row, extra_functions)
+        if left is not None and not _truthy(left):
+            return False
+        right = eval_expr(expr.right, row, extra_functions)
+        if right is not None and not _truthy(right):
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "or":
+        left = eval_expr(expr.left, row, extra_functions)
+        if left is not None and _truthy(left):
+            return True
+        right = eval_expr(expr.right, row, extra_functions)
+        if right is not None and _truthy(right):
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    left = eval_expr(expr.left, row, extra_functions)
+    right = eval_expr(expr.right, row, extra_functions)
+    if op == "within":
+        return SCALAR_FUNCTIONS["st_within"](left, right)
+    if left is None or right is None:
+        return None
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None
+        quotient = left / right
+        return quotient
+    if op == "%":
+        if right == 0:
+            return None
+        return left % right
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "like":
+        return _like(str(left), str(right))
+    raise ExecutionError(f"unknown operator {op!r}")
+
+
+def _like(value: str, pattern: str) -> bool:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, value) is not None
+
+
+# -- structural helpers -------------------------------------------------------
+
+def referenced_columns(expr: Expr) -> set[str]:
+    """All column names mentioned anywhere in an expression."""
+    out: set[str] = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, Column):
+            out.add(node.name)
+        elif isinstance(node, Aliased):
+            walk(node.expr)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, IsNull):
+            walk(node.operand)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, InFunc):
+            walk(node.operand)
+            walk(node.func)
+
+    walk(expr)
+    return out
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def join_conjuncts(conjuncts: list[Expr]) -> Expr | None:
+    """Rebuild a predicate from conjuncts (inverse of split)."""
+    if not conjuncts:
+        return None
+    combined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        combined = BinaryOp("and", combined, conjunct)
+    return combined
+
+
+def expr_name(expr: Expr, index: int) -> str:
+    """Output column name for an unaliased projection expression."""
+    if isinstance(expr, Aliased):
+        return expr.alias
+    if isinstance(expr, Column):
+        return expr.name
+    if isinstance(expr, FuncCall):
+        if expr.is_star_count:
+            return "count"
+        if len(expr.args) == 1 and isinstance(expr.args[0], Column):
+            return f"{expr.name}_{expr.args[0].name}"
+        return expr.name
+    return f"_col{index}"
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when the expression involves an aggregate function call."""
+    from repro.sql.functions import AGGREGATE_FUNCTIONS
+
+    if isinstance(expr, FuncCall):
+        if expr.name in AGGREGATE_FUNCTIONS:
+            return True
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, Aliased):
+        return contains_aggregate(expr.expr)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or \
+            contains_aggregate(expr.right)
+    if isinstance(expr, Between):
+        return any(contains_aggregate(e)
+                   for e in (expr.operand, expr.low, expr.high))
+    return False

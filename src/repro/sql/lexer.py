@@ -1,0 +1,107 @@
+"""Tokenizer for JustQL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "create", "table", "view", "views", "tables", "drop", "show", "desc",
+    "describe", "as", "select", "from", "where", "group", "order", "by",
+    "asc", "desc", "limit", "and", "or", "not", "between", "in", "within",
+    "insert", "into", "values", "load", "to", "config", "filter",
+    "userdata", "store", "distinct", "having", "join", "on", "null",
+    "true", "false", "is", "like", "explain", "inner", "left",
+}
+
+_SYMBOLS = ("<=", ">=", "!=", "<>", "::", "(", ")", ",", ".", ";", "=",
+            "<", ">", "*", "+", "-", "/", "%", "{", "}", ":", "[", "]", "|")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token: kind is ``ident``, ``keyword``, ``number``,
+    ``string``, ``symbol``, or ``end``."""
+
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+def tokenize(statement: str) -> list[Token]:
+    """Tokenize a JustQL statement; raises ParseError on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(statement)
+    while i < n:
+        ch = statement[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and statement.startswith("--", i):
+            end = statement.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n:
+                if statement[j] == quote:
+                    if j + 1 < n and statement[j + 1] == quote:
+                        buf.append(quote)  # doubled quote escape
+                        j += 2
+                        continue
+                    break
+                buf.append(statement[j])
+                j += 1
+            else:
+                raise ParseError("unterminated string literal", i, statement)
+            tokens.append(Token("string", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n
+                            and statement[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = statement[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and statement[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("number", statement[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (statement[j].isalnum() or statement[j] == "_"):
+                j += 1
+            text = statement[i:j]
+            kind = "keyword" if text.lower() in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, i))
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if statement.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i, statement)
+    tokens.append(Token("end", "", n))
+    return tokens

@@ -1,0 +1,513 @@
+"""Recursive-descent parser for JustQL (the ANTLR substitute)."""
+
+from __future__ import annotations
+
+import ast as _pyast
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    Aliased,
+    ExplainStmt,
+    JoinClause,
+    Between,
+    BinaryOp,
+    Column,
+    CreateTableStmt,
+    CreateViewStmt,
+    DescStmt,
+    DropStmt,
+    Expr,
+    FuncCall,
+    InFunc,
+    InsertStmt,
+    IsNull,
+    Literal,
+    LoadStmt,
+    SelectStmt,
+    ShowStmt,
+    Star,
+    Statement,
+    StoreViewStmt,
+    SubquerySource,
+    TableSource,
+    UnaryOp,
+)
+from repro.sql.lexer import Token, tokenize
+
+_COMPARISONS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def parse_statement(statement: str) -> Statement:
+    """Parse one JustQL statement into an AST node."""
+    return _Parser(statement).parse()
+
+
+class _Parser:
+    def __init__(self, statement: str):
+        self.statement = statement
+        self.tokens = tokenize(statement)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.peek().position, self.statement)
+
+    def accept_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        if token.kind == "keyword" and token.lowered in words:
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word.upper()}, "
+                             f"got {self.peek().text!r}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        if token.kind == "symbol" and token.text == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise self.error(f"expected {symbol!r}, got {self.peek().text!r}")
+
+    def expect_name(self) -> str:
+        token = self.peek()
+        if token.kind in ("ident", "keyword"):
+            self.advance()
+            return token.text
+        raise self.error(f"expected a name, got {token.text!r}")
+
+    # -- statement dispatch ------------------------------------------------------
+    def parse(self) -> Statement:
+        token = self.peek()
+        if token.kind != "keyword":
+            raise self.error(f"statement must start with a keyword, "
+                             f"got {token.text!r}")
+        word = token.lowered
+        handlers = {
+            "select": self._parse_select_statement,
+            "explain": self._parse_explain,
+            "create": self._parse_create,
+            "drop": self._parse_drop,
+            "show": self._parse_show,
+            "desc": self._parse_desc,
+            "describe": self._parse_desc,
+            "insert": self._parse_insert,
+            "load": self._parse_load,
+            "store": self._parse_store,
+        }
+        handler = handlers.get(word)
+        if handler is None:
+            raise self.error(f"unsupported statement {word.upper()!r}")
+        result = handler()
+        self.accept_symbol(";")
+        if self.peek().kind != "end":
+            raise self.error(f"trailing input: {self.peek().text!r}")
+        return result
+
+    # -- SELECT --------------------------------------------------------------------
+    def _parse_select_statement(self) -> SelectStmt:
+        return self._parse_select()
+
+    def _parse_select(self) -> SelectStmt:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        projections = [self._parse_projection()]
+        while self.accept_symbol(","):
+            projections.append(self._parse_projection())
+        source = None
+        joins: list[JoinClause] = []
+        if self.accept_keyword("from"):
+            source = self._parse_source()
+            joins = self._parse_joins()
+        where = None
+        if self.accept_keyword("where"):
+            where = self._parse_expr()
+        group_by: list[Expr] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self._parse_expr())
+            while self.accept_symbol(","):
+                group_by.append(self._parse_expr())
+        having = None
+        if self.accept_keyword("having"):
+            having = self._parse_expr()
+        order_by: list[tuple[Expr, bool]] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self.accept_symbol(","):
+                order_by.append(self._parse_order_item())
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.advance()
+            if token.kind != "number":
+                raise self.error("LIMIT expects a number")
+            limit = int(float(token.text))
+        return SelectStmt(projections, source, where, group_by, having,
+                          order_by, limit, distinct, joins)
+
+    def _parse_joins(self) -> "list[JoinClause]":
+        joins: list[JoinClause] = []
+        while True:
+            how = "inner"
+            if self.accept_keyword("left"):
+                how = "left"
+                self.expect_keyword("join")
+            elif self.accept_keyword("inner"):
+                self.expect_keyword("join")
+            elif self.accept_keyword("join"):
+                pass
+            else:
+                return joins
+            source = self._parse_source()
+            self.expect_keyword("on")
+            left = self.expect_name()
+            self.expect_symbol("=")
+            right = self.expect_name()
+            joins.append(JoinClause(source, left, right, how))
+
+    def _parse_explain(self) -> ExplainStmt:
+        self.expect_keyword("explain")
+        return ExplainStmt(self._parse_select())
+
+    def _parse_order_item(self) -> tuple[Expr, bool]:
+        expr = self._parse_expr()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return expr, ascending
+
+    def _parse_projection(self) -> Expr:
+        if self.accept_symbol("*"):
+            return Star()
+        expr = self._parse_expr()
+        if self.accept_keyword("as"):
+            return Aliased(expr, self.expect_name())
+        token = self.peek()
+        if token.kind == "ident":
+            self.advance()
+            return Aliased(expr, token.text)
+        return expr
+
+    def _parse_source(self):
+        if self.accept_symbol("("):
+            select = self._parse_select()
+            self.expect_symbol(")")
+            alias = None
+            if self.peek().kind == "ident":
+                alias = self.advance().text
+            return SubquerySource(select, alias)
+        name = self.expect_name()
+        alias = None
+        if self.peek().kind == "ident":
+            alias = self.advance().text
+        return TableSource(name, alias)
+
+    # -- expressions -------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            left = BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            left = BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind == "symbol" and token.text in _COMPARISONS:
+            self.advance()
+            op = "!=" if token.text == "<>" else token.text
+            return BinaryOp(op, left, self._parse_additive())
+        if self.accept_keyword("between"):
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            return Between(left, low, high)
+        if self.accept_keyword("within"):
+            return BinaryOp("within", left, self._parse_additive())
+        if self.accept_keyword("like"):
+            pattern = self._parse_additive()
+            return BinaryOp("like", left, pattern)
+        if self.accept_keyword("in"):
+            func = self._parse_additive()
+            if not isinstance(func, FuncCall):
+                raise self.error("IN expects a set function such as st_KNN")
+            return InFunc(left, func)
+        if self.accept_keyword("is"):
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return IsNull(left, negated)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self.accept_symbol("+"):
+                left = BinaryOp("+", left, self._parse_multiplicative())
+            elif self.accept_symbol("-"):
+                left = BinaryOp("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            if self.accept_symbol("*"):
+                left = BinaryOp("*", left, self._parse_unary())
+            elif self.accept_symbol("/"):
+                left = BinaryOp("/", left, self._parse_unary())
+            elif self.accept_symbol("%"):
+                left = BinaryOp("%", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self.accept_symbol("-"):
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            value = float(text) if ("." in text or "e" in text.lower()) \
+                else int(text)
+            return Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text)
+        if self.accept_keyword("true"):
+            return Literal(True)
+        if self.accept_keyword("false"):
+            return Literal(False)
+        if self.accept_keyword("null"):
+            return Literal(None)
+        if self.accept_symbol("("):
+            expr = self._parse_expr()
+            self.expect_symbol(")")
+            return expr
+        if token.kind in ("ident", "keyword"):
+            name = self.expect_name()
+            if self.accept_symbol("("):
+                args: list[Expr] = []
+                if not self.accept_symbol(")"):
+                    while True:
+                        if self.accept_symbol("*"):
+                            args.append(Star())
+                        else:
+                            args.append(self._parse_expr())
+                        if self.accept_symbol(")"):
+                            break
+                        self.expect_symbol(",")
+                return FuncCall(name.lower(), tuple(args))
+            return Column(name)
+        raise self.error(f"unexpected token {token.text!r} in expression")
+
+    # -- CREATE / DROP / SHOW / DESC -----------------------------------------------------
+    def _parse_create(self) -> Statement:
+        self.expect_keyword("create")
+        if self.accept_keyword("view"):
+            name = self.expect_name()
+            self.expect_keyword("as")
+            return CreateViewStmt(name, self._parse_select())
+        self.expect_keyword("table")
+        name = self.expect_name()
+        if self.accept_keyword("as"):
+            plugin = self.expect_name()
+            userdata = self._parse_optional_userdata()
+            return CreateTableStmt(name, [], plugin, userdata)
+        self.expect_symbol("(")
+        columns = []
+        while True:
+            columns.append(self._parse_column_definition())
+            if self.accept_symbol(")"):
+                break
+            self.expect_symbol(",")
+        userdata = self._parse_optional_userdata()
+        return CreateTableStmt(name, columns, None, userdata)
+
+    def _parse_column_definition(self) -> tuple[str, str]:
+        """Column name plus the raw type spec text (``point:srid=4326``)."""
+        name = self.expect_name()
+        start = self.peek().position
+        depth = 0
+        while True:
+            token = self.peek()
+            if token.kind == "end":
+                raise self.error("unterminated column definition")
+            if token.kind == "symbol":
+                if token.text == "(":
+                    depth += 1
+                elif token.text == ")":
+                    if depth == 0:
+                        break
+                    depth -= 1
+                elif token.text == "," and depth == 0:
+                    break
+            self.advance()
+        type_spec = self.statement[start:self.peek().position].strip()
+        if not type_spec:
+            raise self.error(f"column {name!r} is missing a type")
+        return name, type_spec
+
+    def _parse_optional_userdata(self) -> dict:
+        if not self.accept_keyword("userdata"):
+            return {}
+        return self._parse_braced_dict()
+
+    def _parse_braced_dict(self) -> dict:
+        """Parse a ``{...}`` JSON-ish literal from the raw statement text."""
+        token = self.peek()
+        if not (token.kind == "symbol" and token.text == "{"):
+            raise self.error("expected a '{...}' literal")
+        start = token.position
+        text = self.statement
+        depth = 0
+        i = start
+        in_string: str | None = None
+        while i < len(text):
+            ch = text[i]
+            if in_string:
+                if ch == in_string:
+                    in_string = None
+            elif ch in "'\"":
+                in_string = ch
+            elif ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        else:
+            raise self.error("unterminated '{...}' literal")
+        raw = text[start:i + 1]
+        try:
+            value = _pyast.literal_eval(raw)
+        except (ValueError, SyntaxError) as exc:
+            raise ParseError(f"malformed JSON literal: {exc}", start,
+                             text) from None
+        if not isinstance(value, dict):
+            raise ParseError("expected a JSON object", start, text)
+        # Skip past the consumed literal.
+        while self.peek().kind != "end" and self.peek().position <= i:
+            self.advance()
+        return value
+
+    def _parse_drop(self) -> DropStmt:
+        self.expect_keyword("drop")
+        if self.accept_keyword("table"):
+            kind = "table"
+        elif self.accept_keyword("view"):
+            kind = "view"
+        else:
+            raise self.error("DROP expects TABLE or VIEW")
+        return DropStmt(kind, self.expect_name())
+
+    def _parse_show(self) -> ShowStmt:
+        self.expect_keyword("show")
+        if self.accept_keyword("tables"):
+            return ShowStmt("tables")
+        if self.accept_keyword("views"):
+            return ShowStmt("views")
+        raise self.error("SHOW expects TABLES or VIEWS")
+
+    def _parse_desc(self) -> DescStmt:
+        self.advance()  # DESC or DESCRIBE
+        self.accept_keyword("table") or self.accept_keyword("view")
+        return DescStmt(self.expect_name())
+
+    # -- INSERT ---------------------------------------------------------------------------
+    def _parse_insert(self) -> InsertStmt:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_name()
+        columns: list[str] = []
+        if self.accept_symbol("("):
+            while True:
+                columns.append(self.expect_name())
+                if self.accept_symbol(")"):
+                    break
+                self.expect_symbol(",")
+        self.expect_keyword("values")
+        rows: list[list[Expr]] = []
+        while True:
+            self.expect_symbol("(")
+            row: list[Expr] = []
+            while True:
+                row.append(self._parse_expr())
+                if self.accept_symbol(")"):
+                    break
+                self.expect_symbol(",")
+            rows.append(row)
+            if not self.accept_symbol(","):
+                break
+        return InsertStmt(table, columns, rows)
+
+    # -- LOAD / STORE ------------------------------------------------------------------------
+    def _parse_load(self) -> LoadStmt:
+        self.expect_keyword("load")
+        source = self._raw_until_keyword("to")
+        self.expect_keyword("to")
+        target = self._raw_until_keyword("config")
+        self.expect_keyword("config")
+        config = self._parse_braced_dict()
+        filter_text = None
+        if self.accept_keyword("filter"):
+            token = self.advance()
+            if token.kind != "string":
+                raise self.error("FILTER expects a quoted string")
+            filter_text = token.text
+        _, _, table = target.partition(":")
+        return LoadStmt(source.strip(), (table or target).strip(), config,
+                        filter_text)
+
+    def _raw_until_keyword(self, word: str) -> str:
+        start = self.peek().position
+        while True:
+            token = self.peek()
+            if token.kind == "end":
+                raise self.error(f"expected {word.upper()} clause")
+            if token.kind == "keyword" and token.lowered == word:
+                return self.statement[start:token.position].strip()
+            self.advance()
+
+    def _parse_store(self) -> StoreViewStmt:
+        self.expect_keyword("store")
+        self.expect_keyword("view")
+        view = self.expect_name()
+        self.expect_keyword("to")
+        self.expect_keyword("table")
+        table = self.expect_name()
+        return StoreViewStmt(view, table)

@@ -1,0 +1,454 @@
+"""Physical execution: logical plan -> DataFrame.
+
+The scan node is where JUST differs from vanilla Spark SQL: pushed-down
+spatio-temporal conjuncts are translated into index key ranges served by
+the key-value store; only residual predicates are evaluated row by row.
+k-NN membership (``geom IN st_KNN(...)``) and primary-key equality also
+short-circuit to their dedicated access paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.knn import knn_query
+from repro.curves.strategies import STQuery
+from repro.dataframe import DataFrame
+from repro.errors import ExecutionError
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+from repro.sql.ast import (
+    Aliased,
+    Between,
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    InFunc,
+    Literal,
+)
+from repro.sql.expressions import eval_expr, split_conjuncts
+from repro.sql.functions import (
+    AGGREGATE_FUNCTIONS,
+    NM_FUNCTIONS,
+    SET_FUNCTIONS,
+    make_map_matching_function,
+)
+from repro.sql.logical import (
+    AggregateNode,
+    JoinNode,
+    DistinctNode,
+    FilterNode,
+    LimitNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    ViewScanNode,
+)
+from repro.dataframe.functions import AggregateSpec
+
+
+@dataclass
+class _ScanPredicates:
+    """Conjuncts recognized by the scan planner."""
+
+    envelope: Envelope | None = None
+    spatial_mode: str = "intersects"
+    t_min: float | None = None
+    t_max: float | None = None
+    knn: tuple[Point, int] | None = None
+    fid: object | None = None
+    attr: tuple[str, object] | None = None
+    residual: list[Expr] | None = None
+
+
+def execute_plan(plan: LogicalNode, engine, job) -> DataFrame:
+    """Evaluate a logical plan to a DataFrame, charging ``job``."""
+    if isinstance(plan, ScanNode):
+        return _execute_scan(plan, engine, job)
+    if isinstance(plan, ViewScanNode):
+        return _execute_view_scan(plan, engine, job)
+    if isinstance(plan, FilterNode):
+        child = execute_plan(plan.child, engine, job)
+        job.charge_cpu_records(child.count())
+        extra = _extra_functions(engine)
+        return child.where(
+            lambda row: eval_expr(plan.predicate, row, extra) is True)
+    if isinstance(plan, ProjectNode):
+        return _execute_project(plan, engine, job)
+    if isinstance(plan, AggregateNode):
+        return _execute_aggregate(plan, engine, job)
+    if isinstance(plan, SortNode):
+        return _execute_sort(plan, engine, job)
+    if isinstance(plan, LimitNode):
+        child = execute_plan(plan.child, engine, job)
+        return child.limit(plan.limit)
+    if isinstance(plan, DistinctNode):
+        child = execute_plan(plan.child, engine, job)
+        job.charge_cpu_records(child.count())
+        return child.distinct()
+    if isinstance(plan, JoinNode):
+        return _execute_join(plan, engine, job)
+    raise ExecutionError(f"cannot execute plan node {type(plan).__name__}")
+
+
+def _execute_join(plan: JoinNode, engine, job) -> DataFrame:
+    """Hash equi-join (a shuffle + build/probe in Spark terms)."""
+    left = execute_plan(plan.left, engine, job)
+    right = execute_plan(plan.right, engine, job)
+    job.charge_cpu_records(left.count() + right.count(),
+                           us_per_record=3.0)
+    if plan.right_column != plan.left_column:
+        right = right.map_rows(
+            lambda row: {**{k: v for k, v in row.items()
+                            if k != plan.right_column},
+                         plan.left_column: row.get(plan.right_column)},
+            [plan.left_column if c == plan.right_column else c
+             for c in right.columns])
+    return left.join(right, [plan.left_column], how=plan.how)
+
+
+def _extra_functions(engine) -> dict:
+    network = getattr(engine, "road_network", None)
+    if network is None:
+        return {}
+    return {"st_trajmapmatching": make_map_matching_function(network)}
+
+
+# -- scans ---------------------------------------------------------------------
+
+def _execute_view_scan(plan: ViewScanNode, engine, job) -> DataFrame:
+    view = engine.view(plan.view_name)
+    df = view.dataframe
+    job.charge_fixed("spark_stage", engine.cluster.model.spark_stage_ms)
+    job.charge_memory_scan(df.estimated_bytes())
+    if plan.pushed_filter is not None:
+        extra = _extra_functions(engine)
+        df = df.where(lambda row: eval_expr(plan.pushed_filter, row,
+                                            extra) is True)
+    return df
+
+
+def _execute_scan(plan: ScanNode, engine, job) -> DataFrame:
+    table = engine.table(plan.table_name)
+    preds = _classify_conjuncts(plan.pushed_filter, table)
+    extra = _extra_functions(engine)
+
+    if preds.knn is not None:
+        point, k = preds.knn
+        result = knn_query(table, point.lng, point.lat, k, job)
+        rows = result.rows
+    elif preds.fid is not None:
+        row = table.get(str(preds.fid))
+        job.charge_cpu_records(1)
+        rows = [row] if row is not None else []
+    elif preds.attr is not None and preds.envelope is None \
+            and preds.t_min is None:
+        field_name, value = preds.attr
+        rows = table.attribute_query(field_name, value, job)
+    elif preds.envelope is not None or preds.t_min is not None:
+        query = STQuery(preds.envelope, preds.t_min, preds.t_max)
+        if preds.t_min is not None and preds.t_max is None:
+            query = STQuery(preds.envelope, preds.t_min, float("inf"))
+        rows = table.query(query, preds.spatial_mode, job)
+    else:
+        rows = table.full_scan(job)
+
+    if preds.residual:
+        job.charge_cpu_records(len(rows))
+        rows = [row for row in rows
+                if all(eval_expr(c, row, extra) is True
+                       for c in preds.residual)]
+    columns = plan.pushed_projection or table.columns()
+    if plan.pushed_projection is not None:
+        rows = [{c: row.get(c) for c in columns} for row in rows]
+    return DataFrame.from_rows(rows, columns,
+                               engine.cluster.num_servers)
+
+
+def _classify_conjuncts(predicate: Expr | None, table) -> _ScanPredicates:
+    preds = _ScanPredicates(residual=[])
+    geometry_field = table.schema.geometry_field
+    geometry_name = geometry_field.name if geometry_field else None
+    time_field = table.schema.time_field
+    time_name = time_field.name if time_field else None
+    pk = table.schema.primary_key
+    pk_name = pk.name if pk else None
+    # Plugin tables index the derived geometry/time extent; map the
+    # conventional column names onto them too.
+    time_names = {time_name, "time", "start_time"} - {None}
+    geom_names = {geometry_name, "geom", "geometry", "gps_list"} - {None}
+
+    for conjunct in split_conjuncts(predicate):
+        if _is_spatial(conjunct, geom_names, preds):
+            continue
+        if _is_temporal(conjunct, time_names, preds):
+            continue
+        if _is_knn(conjunct, geom_names, preds):
+            continue
+        if _is_fid(conjunct, pk_name, preds):
+            continue
+        if _is_attribute(conjunct, table, preds):
+            continue
+        preds.residual.append(conjunct)
+    return preds
+
+
+def _is_spatial(conjunct: Expr, geom_names: set[str],
+                preds: _ScanPredicates) -> bool:
+    envelope = None
+    mode = None
+    if isinstance(conjunct, BinaryOp) and conjunct.op == "within" and \
+            isinstance(conjunct.left, Column) and \
+            conjunct.left.name in geom_names and \
+            isinstance(conjunct.right, Literal) and \
+            isinstance(conjunct.right.value, Envelope):
+        envelope, mode = conjunct.right.value, "within"
+    elif isinstance(conjunct, FuncCall) and \
+            conjunct.name in ("st_within", "st_intersects") and \
+            len(conjunct.args) == 2 and \
+            isinstance(conjunct.args[0], Column) and \
+            conjunct.args[0].name in geom_names and \
+            isinstance(conjunct.args[1], Literal) and \
+            isinstance(conjunct.args[1].value, Envelope):
+        envelope = conjunct.args[1].value
+        mode = "within" if conjunct.name == "st_within" else "intersects"
+    if envelope is None:
+        return False
+    preds.envelope = envelope if preds.envelope is None else \
+        (preds.envelope.intersection(envelope)
+         or Envelope.of_point(envelope.min_lng, envelope.min_lat))
+    preds.spatial_mode = mode
+    return True
+
+
+def _is_temporal(conjunct: Expr, time_names: set[str],
+                 preds: _ScanPredicates) -> bool:
+    if isinstance(conjunct, Between) and \
+            isinstance(conjunct.operand, Column) and \
+            conjunct.operand.name in time_names and \
+            isinstance(conjunct.low, Literal) and \
+            isinstance(conjunct.high, Literal):
+        low = float(conjunct.low.value)
+        high = float(conjunct.high.value)
+        preds.t_min = low if preds.t_min is None else max(preds.t_min, low)
+        preds.t_max = high if preds.t_max is None else min(preds.t_max,
+                                                           high)
+        return True
+    if isinstance(conjunct, BinaryOp) and \
+            conjunct.op in ("<", "<=", ">", ">=") and \
+            isinstance(conjunct.left, Column) and \
+            conjunct.left.name in time_names and \
+            isinstance(conjunct.right, Literal):
+        value = float(conjunct.right.value)
+        if conjunct.op in (">", ">="):
+            preds.t_min = value if preds.t_min is None else \
+                max(preds.t_min, value)
+        else:
+            preds.t_max = value if preds.t_max is None else \
+                min(preds.t_max, value)
+        # Keep as residual too: the index range is closed while the
+        # original predicate may be strict.
+        preds.residual.append(conjunct)
+        return True
+    return False
+
+
+def _is_knn(conjunct: Expr, geom_names: set[str],
+            preds: _ScanPredicates) -> bool:
+    if not (isinstance(conjunct, InFunc)
+            and isinstance(conjunct.operand, Column)
+            and conjunct.operand.name in geom_names
+            and conjunct.func.name == "st_knn"
+            and len(conjunct.func.args) == 2):
+        return False
+    point_arg, k_arg = conjunct.func.args
+    if not (isinstance(point_arg, Literal)
+            and isinstance(point_arg.value, Point)
+            and isinstance(k_arg, Literal)):
+        raise ExecutionError("st_KNN expects (st_makePoint(lng, lat), k) "
+                             "with literal arguments")
+    preds.knn = (point_arg.value, int(k_arg.value))
+    return True
+
+
+def _is_attribute(conjunct: Expr, table,
+                  preds: _ScanPredicates) -> bool:
+    """Equality on a field with a secondary attribute index.
+
+    The conjunct also stays in the residual list: when a stronger access
+    path (spatio-temporal ranges) serves the scan, the equality is
+    enforced per row instead.
+    """
+    indexed = getattr(table, "attribute_indexes", {})
+    if not indexed or preds.attr is not None:
+        return False
+    if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+        left, right = conjunct.left, conjunct.right
+        if isinstance(right, Column) and isinstance(left, Literal):
+            left, right = right, left
+        if isinstance(left, Column) and left.name in indexed and \
+                isinstance(right, Literal) and right.value is not None:
+            preds.attr = (left.name, right.value)
+            preds.residual.append(conjunct)
+            return True
+    return False
+
+
+def _is_fid(conjunct: Expr, pk_name: str | None,
+            preds: _ScanPredicates) -> bool:
+    if pk_name is None:
+        return False
+    if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+        left, right = conjunct.left, conjunct.right
+        if isinstance(right, Column) and isinstance(left, Literal):
+            left, right = right, left
+        if isinstance(left, Column) and left.name == pk_name and \
+                isinstance(right, Literal):
+            preds.fid = right.value
+            return True
+    return False
+
+
+# -- projections (including 1-N and N-M operations) ------------------------------
+
+def _execute_project(plan: ProjectNode, engine, job) -> DataFrame:
+    child = execute_plan(plan.child, engine, job)
+    extra = _extra_functions(engine)
+    job.charge_cpu_records(child.count())
+
+    set_items = [(expr, name) for expr, name in plan.projections
+                 if _projection_kind(expr, extra) == "set"]
+    nm_items = [(expr, name) for expr, name in plan.projections
+                if _projection_kind(expr, extra) == "nm"]
+    if len(set_items) + len(nm_items) > 1:
+        raise ExecutionError(
+            "at most one 1-N or N-M operation per SELECT")
+
+    if nm_items:
+        return _execute_dbscan(plan, child, nm_items[0], extra)
+    if set_items:
+        return _execute_set_projection(plan, child, set_items[0], extra,
+                                       engine, job)
+
+    def project(row: dict) -> dict:
+        return {name: eval_expr(expr, row, extra)
+                for expr, name in plan.projections}
+
+    return child.map_rows(project, [n for _e, n in plan.projections])
+
+
+def _projection_kind(expr: Expr, extra: dict) -> str:
+    inner = expr.expr if isinstance(expr, Aliased) else expr
+    if isinstance(inner, FuncCall):
+        if inner.name in NM_FUNCTIONS:
+            return "nm"
+        if inner.name in SET_FUNCTIONS or inner.name in extra:
+            return "set"
+    return "scalar"
+
+
+def _execute_set_projection(plan: ProjectNode, child: DataFrame, set_item,
+                            extra: dict, engine, job) -> DataFrame:
+    """1-N operation: the set function's results each become one row."""
+    set_expr, set_name = set_item
+    inner = set_expr.expr if isinstance(set_expr, Aliased) else set_expr
+    fn = extra.get(inner.name) or SET_FUNCTIONS[inner.name]
+    scalar_items = [(e, n) for e, n in plan.projections
+                    if n != set_name]
+    columns = [n for _e, n in plan.projections]
+
+    def expand(row: dict):
+        args = [eval_expr(a, row, extra) for a in inner.args]
+        results = fn(*args)
+        base = {name: eval_expr(expr, row, extra)
+                for expr, name in scalar_items}
+        for element in results:
+            yield {**base, set_name: element}
+
+    out = child.flat_map(expand, columns)
+    job.charge_cpu_records(out.count(), us_per_record=20.0)
+    return out
+
+
+def _execute_dbscan(plan: ProjectNode, child: DataFrame, nm_item,
+                    extra: dict) -> DataFrame:
+    """N-M operation: DBSCAN over the whole input."""
+    from repro.ops.analysis.dbscan import dbscan
+
+    nm_expr, _name = nm_item
+    inner = nm_expr.expr if isinstance(nm_expr, Aliased) else nm_expr
+    if len(inner.args) != 3:
+        raise ExecutionError("st_DBSCAN expects (geom, minPts, radius)")
+    geom_arg, min_pts_arg, radius_arg = inner.args
+    rows = child.collect()
+    points = []
+    for row in rows:
+        geometry = eval_expr(geom_arg, row, extra)
+        if not isinstance(geometry, Point):
+            raise ExecutionError("st_DBSCAN clusters point geometries")
+        points.append((geometry.lng, geometry.lat))
+    min_pts = int(eval_expr(min_pts_arg, rows[0] if rows else {}, extra))
+    radius = float(eval_expr(radius_arg, rows[0] if rows else {}, extra))
+    labels = dbscan(points, min_pts, radius)
+    out_rows = [{**row, "cluster": label}
+                for row, label in zip(rows, labels)]
+    columns = child.columns + ["cluster"]
+    return DataFrame.from_rows(out_rows, columns, child.num_partitions)
+
+
+# -- aggregation / sorting ----------------------------------------------------------
+
+def _execute_aggregate(plan: AggregateNode, engine, job) -> DataFrame:
+    child = execute_plan(plan.child, engine, job)
+    extra = _extra_functions(engine)
+    job.charge_cpu_records(child.count(), us_per_record=4.0)
+
+    group_names = [name for _e, name in plan.group_exprs]
+    prepared = child
+    for expr, name in plan.group_exprs:
+        prepared = prepared.with_column(
+            name, lambda row, e=expr: eval_expr(e, row, extra))
+
+    specs: list[AggregateSpec] = []
+    for call, output in plan.agg_calls:
+        factory = AGGREGATE_FUNCTIONS[call.name]
+        if call.is_star_count or not call.args:
+            specs.append(factory(output))
+            continue
+        arg = call.args[0]
+        temp = f"__agg_in_{output}"
+        prepared = prepared.with_column(
+            temp, lambda row, e=arg: eval_expr(e, row, extra))
+        specs.append(factory(temp, output))
+    if not group_names:
+        # Global aggregate: group by a constant key.
+        prepared = prepared.with_column("__global", lambda _row: 0)
+        result = prepared.group_by(["__global"], specs)
+        return result.select([s.output for s in specs])
+    return prepared.group_by(group_names, specs)
+
+
+def _execute_sort(plan: SortNode, engine, job) -> DataFrame:
+    child = execute_plan(plan.child, engine, job)
+    extra = _extra_functions(engine)
+    job.charge_cpu_records(child.count(), us_per_record=3.0)
+    key_names = []
+    ascending = []
+    temp_columns = []
+    df = child
+    for i, (expr, asc) in enumerate(plan.keys):
+        if isinstance(expr, Column):
+            key_names.append(expr.name)
+        else:
+            temp = f"__sort_{i}"
+            df = df.with_column(
+                temp, lambda row, e=expr: eval_expr(e, row, extra))
+            key_names.append(temp)
+            temp_columns.append(temp)
+        ascending.append(asc)
+    df = df.order_by(key_names, ascending)
+    if temp_columns:
+        df = df.select([c for c in df.columns if c not in temp_columns])
+    return df

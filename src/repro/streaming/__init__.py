@@ -1,0 +1,12 @@
+"""Streaming ingestion (future work #1 of Section IX).
+
+The paper plans Kafka support; this package provides the equivalent
+substrate: named append-only topics with offset-based consumption, and a
+micro-batch loader that maps events through a LOAD-style CONFIG into a
+stored table.  Because JUST keys are record-local, streaming inserts are
+just inserts — no index rebuilds, no future-time restriction.
+"""
+
+from repro.streaming.stream import StreamTopic, StreamLoader
+
+__all__ = ["StreamTopic", "StreamLoader"]

@@ -1,0 +1,5 @@
+"""Trajectory data structures (the paper's trajectory plugin payload)."""
+
+from repro.trajectory.model import GPSPoint, Trajectory, STSeries, TSeries
+
+__all__ = ["GPSPoint", "Trajectory", "STSeries", "TSeries"]

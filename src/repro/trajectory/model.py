@@ -1,0 +1,194 @@
+"""Trajectory value objects.
+
+``STSeries`` is the paper's ``st_series`` column type (a sequence of
+``(lng, lat, t)`` samples, e.g. the ``gpsList`` field); ``TSeries`` is
+``t_series`` (a sequence of ``(t, value)`` samples).  ``Trajectory`` is the
+complete entity behind the trajectory plugin table's implicit ``item``
+field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.geometry.distance import haversine_distance_m
+from repro.geometry.envelope import Envelope
+from repro.geometry.linestring import LineString
+
+
+@dataclass(frozen=True, slots=True)
+class GPSPoint:
+    """One GPS sample: position plus epoch-seconds timestamp."""
+
+    lng: float
+    lat: float
+    time: float
+
+    def distance_m(self, other: "GPSPoint") -> float:
+        return haversine_distance_m(self.lng, self.lat,
+                                    other.lng, other.lat)
+
+    def speed_to_mps(self, other: "GPSPoint") -> float:
+        """Average speed between two samples in metres per second."""
+        dt = abs(other.time - self.time)
+        if dt == 0.0:
+            return float("inf") if self.distance_m(other) > 0 else 0.0
+        return self.distance_m(other) / dt
+
+
+class STSeries:
+    """An ordered, time-monotone sequence of GPS samples."""
+
+    __slots__ = ("_points", "_envelope")
+
+    def __init__(self, points):
+        pts = tuple(p if isinstance(p, GPSPoint) else GPSPoint(*p)
+                    for p in points)
+        for a, b in zip(pts, pts[1:]):
+            if b.time < a.time:
+                raise SchemaError("st_series timestamps must be "
+                                  "non-decreasing")
+        self._points = pts
+        self._envelope = None  # computed lazily, cached (immutable)
+
+    @property
+    def points(self) -> tuple[GPSPoint, ...]:
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __getitem__(self, i):
+        return self._points[i]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, STSeries) and self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:
+        return f"STSeries({len(self._points)} points)"
+
+    @property
+    def envelope(self) -> Envelope:
+        if not self._points:
+            raise SchemaError("empty st_series has no envelope")
+        if self._envelope is None:
+            min_lng = max_lng = self._points[0].lng
+            min_lat = max_lat = self._points[0].lat
+            for p in self._points[1:]:
+                if p.lng < min_lng:
+                    min_lng = p.lng
+                elif p.lng > max_lng:
+                    max_lng = p.lng
+                if p.lat < min_lat:
+                    min_lat = p.lat
+                elif p.lat > max_lat:
+                    max_lat = p.lat
+            self._envelope = Envelope(min_lng, min_lat, max_lng, max_lat)
+        return self._envelope
+
+    @property
+    def time_extent(self) -> tuple[float, float]:
+        if not self._points:
+            raise SchemaError("empty st_series has no time extent")
+        return self._points[0].time, self._points[-1].time
+
+    def as_linestring(self) -> LineString:
+        if len(self._points) < 2:
+            raise SchemaError("st_series needs >= 2 points for a linestring")
+        return LineString((p.lng, p.lat) for p in self._points)
+
+    def length_m(self) -> float:
+        """Travelled distance in metres."""
+        return sum(a.distance_m(b)
+                   for a, b in zip(self._points, self._points[1:]))
+
+
+class TSeries:
+    """An ordered sequence of ``(time, value)`` samples (``t_series``)."""
+
+    __slots__ = ("_samples",)
+
+    def __init__(self, samples):
+        pairs = tuple((float(t), float(v)) for t, v in samples)
+        for (t1, _), (t2, _) in zip(pairs, pairs[1:]):
+            if t2 < t1:
+                raise SchemaError("t_series timestamps must be "
+                                  "non-decreasing")
+        self._samples = pairs
+
+    @property
+    def samples(self) -> tuple[tuple[float, float], ...]:
+        return self._samples
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TSeries) and self._samples == other._samples
+
+    def __hash__(self) -> int:
+        return hash(self._samples)
+
+    def __repr__(self) -> str:
+        return f"TSeries({len(self._samples)} samples)"
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A complete trajectory entity: id, moving-object id, GPS samples."""
+
+    tid: str
+    oid: str
+    series: STSeries
+
+    def __post_init__(self):
+        if not isinstance(self.series, STSeries):
+            object.__setattr__(self, "series", STSeries(self.series))
+        if len(self.series) == 0:
+            raise SchemaError(f"trajectory {self.tid!r} has no points")
+
+    @property
+    def points(self) -> tuple[GPSPoint, ...]:
+        return self.series.points
+
+    @property
+    def envelope(self) -> Envelope:
+        return self.series.envelope
+
+    @property
+    def start_time(self) -> float:
+        return self.series.points[0].time
+
+    @property
+    def end_time(self) -> float:
+        return self.series.points[-1].time
+
+    @property
+    def start_point(self) -> GPSPoint:
+        return self.series.points[0]
+
+    @property
+    def end_point(self) -> GPSPoint:
+        return self.series.points[-1]
+
+    def length_m(self) -> float:
+        return self.series.length_m()
+
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+    def subtrajectory(self, start: int, stop: int,
+                      tid_suffix: str = "") -> "Trajectory":
+        """New trajectory over the sample index range [start, stop)."""
+        tid = self.tid + (tid_suffix or f"#{start}:{stop}")
+        return Trajectory(tid, self.oid, STSeries(self.points[start:stop]))

@@ -1,0 +1,59 @@
+"""Shared fixtures: a small engine and deterministic datasets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import JustEngine, Point, Schema, Field, FieldType
+from repro.datagen import generate_order_dataset, generate_traj_dataset
+
+POI_SCHEMA_FIELDS = [
+    Field("fid", FieldType.INTEGER, primary_key=True),
+    Field("name", FieldType.STRING),
+    Field("time", FieldType.DATE),
+    Field("geom", FieldType.POINT),
+]
+
+#: Default spatio-temporal extent of the fixture points.
+T0 = 1_500_000_000.0
+
+
+def make_poi_rows(n: int = 500, seed: int = 11) -> list[dict]:
+    rng = random.Random(seed)
+    return [{
+        "fid": i,
+        "name": f"poi{i % 10}",
+        "time": T0 + rng.random() * 86400 * 5,
+        "geom": Point(116.0 + rng.random() * 0.5,
+                      39.8 + rng.random() * 0.3),
+    } for i in range(n)]
+
+
+@pytest.fixture
+def engine() -> JustEngine:
+    return JustEngine()
+
+
+@pytest.fixture
+def poi_rows() -> list[dict]:
+    return make_poi_rows()
+
+
+@pytest.fixture
+def poi_engine(engine, poi_rows) -> JustEngine:
+    """An engine with a populated point table named ``poi``."""
+    engine.create_table("poi", Schema(list(POI_SCHEMA_FIELDS)))
+    engine.insert("poi", poi_rows)
+    return engine
+
+
+@pytest.fixture(scope="session")
+def small_orders() -> list[dict]:
+    return generate_order_dataset(2_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_trajs():
+    return generate_traj_dataset(40, 80, seed=7)

@@ -1,0 +1,84 @@
+"""Cost model and cluster memory budget."""
+
+import pytest
+
+from repro.cluster import Cluster, CostModel, SimJob
+from repro.errors import SimulatedOutOfMemoryError
+from repro.kvstore.iostats import IOSnapshot
+
+_MB = 1024 * 1024
+
+
+class TestCostModel:
+    def test_disk_read_rate(self):
+        model = CostModel(disk_read_mb_s=100.0)
+        assert model.disk_read_ms(100 * _MB) == pytest.approx(1000.0)
+
+    def test_memory_faster_than_disk(self):
+        model = CostModel()
+        nbytes = 64 * _MB
+        assert model.memory_scan_ms(nbytes) < model.disk_read_ms(nbytes)
+
+
+class TestSimJob:
+    def test_fixed_charges_accumulate(self):
+        job = SimJob(CostModel())
+        job.charge_fixed("a", 100.0)
+        job.charge_fixed("a", 50.0)
+        job.charge_fixed("b", 25.0)
+        assert job.elapsed_ms == 175.0
+        assert job.breakdown == {"a": 150.0, "b": 25.0}
+
+    def test_store_scan_uses_straggler_server(self):
+        model = CostModel(disk_read_mb_s=100.0, seek_ms=0.0,
+                          network_mb_s=1e9)
+        job = SimJob(model, num_servers=2)
+        delta = IOSnapshot(disk_bytes_read=30 * _MB,
+                           per_server_read={0: 10 * _MB, 1: 20 * _MB})
+        job.charge_store_scan(delta, num_ranges=0)
+        # 20 MB on the slowest server at 100 MB/s = 200 ms.
+        assert job.elapsed_ms == pytest.approx(200.0)
+
+    def test_seeks_divided_across_servers(self):
+        model = CostModel(seek_ms=2.0)
+        job = SimJob(model, num_servers=4)
+        job.charge_store_scan(IOSnapshot(), num_ranges=8)
+        assert job.breakdown["seek"] == pytest.approx(4.0)  # ceil(8/4)*2
+
+    def test_parallel_cpu(self):
+        model = CostModel(cpu_us_per_record=10.0)
+        job = SimJob(model, num_servers=5)
+        job.charge_cpu_records(5000)
+        assert job.breakdown["cpu"] == pytest.approx(10.0)
+        job2 = SimJob(model, num_servers=5)
+        job2.charge_cpu_records(5000, parallel=False)
+        assert job2.breakdown["cpu"] == pytest.approx(50.0)
+
+
+class TestClusterMemory:
+    def test_reserve_within_budget(self):
+        cluster = Cluster(memory_budget_bytes=1000)
+        cluster.reserve_memory("a", 600)
+        cluster.reserve_memory("b", 300)
+        assert cluster.memory_in_use == 900
+
+    def test_oom_over_budget(self):
+        cluster = Cluster(memory_budget_bytes=1000)
+        cluster.reserve_memory("a", 600)
+        with pytest.raises(SimulatedOutOfMemoryError) as exc:
+            cluster.reserve_memory("b", 500)
+        assert exc.value.system == "b"
+        assert exc.value.budget_bytes == 1000
+
+    def test_rereserve_replaces_not_adds(self):
+        cluster = Cluster(memory_budget_bytes=1000)
+        cluster.reserve_memory("a", 600)
+        cluster.reserve_memory("a", 700)  # replaces the old claim
+        assert cluster.memory_in_use == 700
+
+    def test_release(self):
+        cluster = Cluster(memory_budget_bytes=1000)
+        cluster.reserve_memory("a", 600)
+        cluster.release_memory("a")
+        cluster.reserve_memory("b", 1000)
+        assert cluster.memory_in_use == 1000

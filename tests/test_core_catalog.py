@@ -1,0 +1,67 @@
+"""Meta-table (catalog) behaviour."""
+
+import pytest
+
+from repro.core.catalog import Catalog, TableMeta
+from repro.core.schema import Field, FieldType, Schema
+from repro.errors import TableExistsError, TableNotFoundError
+
+
+def meta(name="t"):
+    schema = Schema([Field("fid", FieldType.INTEGER, primary_key=True),
+                     Field("geom", FieldType.POINT)])
+    return TableMeta(name, "common", schema, ["z2"])
+
+
+def test_create_get_drop():
+    catalog = Catalog()
+    catalog.create(meta("a"))
+    assert catalog.get("a").kind == "common"
+    dropped = catalog.drop("a")
+    assert dropped.name == "a"
+    assert not catalog.exists("a")
+
+
+def test_duplicate_rejected():
+    catalog = Catalog()
+    catalog.create(meta("a"))
+    with pytest.raises(TableExistsError):
+        catalog.create(meta("a"))
+
+
+def test_missing_raises():
+    catalog = Catalog()
+    with pytest.raises(TableNotFoundError):
+        catalog.get("ghost")
+    with pytest.raises(TableNotFoundError):
+        catalog.drop("ghost")
+
+
+def test_list_tables_creation_order():
+    catalog = Catalog()
+    for name in ("zebra", "alpha", "middle"):
+        catalog.create(meta(name))
+    assert [m.name for m in catalog.list_tables()] == \
+        ["zebra", "alpha", "middle"]
+
+
+def test_list_tables_prefix_filter():
+    catalog = Catalog()
+    catalog.create(meta("u1__t"))
+    catalog.create(meta("u2__t"))
+    assert [m.name for m in catalog.list_tables("u1__")] == ["u1__t"]
+
+
+def test_describe_delegates_to_schema():
+    catalog = Catalog()
+    catalog.create(meta("a"))
+    rows = catalog.describe("a")
+    assert rows[0]["field"] == "fid"
+
+
+def test_sequence_survives_drops():
+    catalog = Catalog()
+    catalog.create(meta("a"))
+    catalog.drop("a")
+    catalog.create(meta("b"))
+    assert catalog.get("b").sequence == 2

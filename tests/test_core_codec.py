@@ -1,0 +1,190 @@
+"""Row serialization and field compression."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import (
+    RowCodec,
+    compress_bytes,
+    decode_value,
+    decompress_bytes,
+    encode_value,
+    read_varint,
+    write_varint,
+)
+from repro.core.schema import Field, FieldType, Schema
+from repro.geometry import LineString, Point, Polygon
+from repro.trajectory import GPSPoint, STSeries, TSeries
+
+
+class TestVarint:
+    @given(value=st.integers(0, 2 ** 64))
+    def test_roundtrip(self, value):
+        buf = bytearray()
+        write_varint(value, buf)
+        decoded, pos = read_varint(bytes(buf), 0)
+        assert decoded == value and pos == len(buf)
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            write_varint(-1, bytearray())
+
+
+class TestValueRoundtrip:
+    def test_scalars(self):
+        cases = [
+            (FieldType.INTEGER, -12345),
+            (FieldType.LONG, 2 ** 40),
+            (FieldType.DOUBLE, 3.14159),
+            (FieldType.DATE, 1_500_000_000.5),
+            (FieldType.STRING, "héllo wörld"),
+            (FieldType.BOOLEAN, True),
+            (FieldType.BOOLEAN, False),
+        ]
+        for ftype, value in cases:
+            assert decode_value(encode_value(value, ftype), ftype) == value
+
+    def test_geometries(self):
+        point = Point(116.397, 39.908)
+        decoded = decode_value(encode_value(point, FieldType.POINT),
+                               FieldType.POINT)
+        assert decoded == point
+        line = LineString([(0, 0), (1.5, 2.5)])
+        assert decode_value(encode_value(line, FieldType.LINESTRING),
+                            FieldType.LINESTRING) == line
+        poly = Polygon([(0, 0), (1, 0), (0, 1)])
+        assert decode_value(encode_value(poly, FieldType.POLYGON),
+                            FieldType.POLYGON) == poly
+
+    def test_generic_geometry_tags(self):
+        for geom in (Point(1, 2), LineString([(0, 0), (1, 1)]),
+                     Polygon([(0, 0), (1, 0), (0, 1)])):
+            data = encode_value(geom, FieldType.GEOMETRY)
+            assert decode_value(data, FieldType.GEOMETRY) == geom
+
+    def test_t_series(self):
+        series = TSeries([(1.0, 10.0), (2.0, 20.0)])
+        assert decode_value(encode_value(series, FieldType.T_SERIES),
+                            FieldType.T_SERIES) == series
+
+
+class TestSTSeriesCodec:
+    def test_delta_roundtrip_precision(self):
+        points = [(116.0 + i * 0.0001, 39.9 + i * 0.00005,
+                   1_500_000_000.0 + i * 30.0) for i in range(100)]
+        series = STSeries(points)
+        decoded = decode_value(encode_value(series, FieldType.ST_SERIES),
+                               FieldType.ST_SERIES)
+        assert len(decoded) == 100
+        for original, back in zip(series, decoded):
+            assert back.lng == pytest.approx(original.lng, abs=1e-6)
+            assert back.lat == pytest.approx(original.lat, abs=1e-6)
+            assert back.time == pytest.approx(original.time, abs=1e-3)
+
+    def test_absolute_fallback_for_huge_gaps(self):
+        # A >24-day gap overflows the int32 millisecond delta.
+        series = STSeries([(0.0, 0.0, 0.0),
+                           (1.0, 1.0, 86400.0 * 60)])
+        data = encode_value(series, FieldType.ST_SERIES)
+        decoded = decode_value(data, FieldType.ST_SERIES)
+        assert decoded[1].time == pytest.approx(86400.0 * 60)
+
+    def test_empty_series(self):
+        data = encode_value(STSeries([]), FieldType.ST_SERIES)
+        assert len(decode_value(data, FieldType.ST_SERIES)) == 0
+
+    def test_delta_encoding_is_compact(self):
+        points = [(116.0 + i * 1e-5, 39.9, 1e9 + i * 30.0)
+                  for i in range(1000)]
+        data = encode_value(STSeries(points), FieldType.ST_SERIES)
+        # Delta layout: ~12 bytes/point versus 24 for raw doubles.
+        assert len(data) < 1000 * 16
+
+    @settings(max_examples=25)
+    @given(n=st.integers(1, 50), seed=st.integers(0, 999))
+    def test_random_roundtrip(self, n, seed):
+        import random
+        rng = random.Random(seed)
+        t = 1_400_000_000.0
+        points = []
+        lng, lat = 116.0, 39.9
+        for _ in range(n):
+            lng += rng.uniform(-0.001, 0.001)
+            lat += rng.uniform(-0.001, 0.001)
+            t += rng.uniform(0.001, 100.0)
+            points.append((lng, lat, t))
+        series = STSeries(points)
+        decoded = decode_value(encode_value(series, FieldType.ST_SERIES),
+                               FieldType.ST_SERIES)
+        assert len(decoded) == n
+
+
+class TestCompression:
+    def test_gzip_zip_roundtrip(self):
+        data = b"hello " * 1000
+        for method in ("gzip", "zip"):
+            packed = compress_bytes(data, method)
+            assert len(packed) < len(data)
+            assert decompress_bytes(packed, method) == data
+
+    def test_compression_helps_big_series_only(self):
+        """The Figure 10a lesson: compression shrinks big fields but can
+        grow tiny ones."""
+        big = encode_value(STSeries(
+            [(116.0 + i * 1e-5, 39.9 + i * 1e-5, 1e9 + i * 30.0)
+             for i in range(2000)]), FieldType.ST_SERIES)
+        assert len(compress_bytes(big, "gzip")) < len(big) * 0.7
+        tiny = encode_value(Point(116.0, 39.9), FieldType.POINT)
+        assert len(compress_bytes(tiny, "gzip")) > len(tiny)
+
+
+class TestRowCodec:
+    def schema(self):
+        return Schema([
+            Field("fid", FieldType.INTEGER, primary_key=True),
+            Field("name", FieldType.STRING),
+            Field("time", FieldType.DATE),
+            Field("geom", FieldType.POINT),
+            Field("gps", FieldType.ST_SERIES, compress="gzip"),
+        ])
+
+    def row(self):
+        return {
+            "fid": 7,
+            "name": "alpha",
+            "time": 1_500_000_000.0,
+            "geom": Point(116.4, 39.9),
+            "gps": STSeries([(116.4, 39.9, 1_500_000_000.0 + i)
+                             for i in range(50)]),
+        }
+
+    def test_roundtrip(self):
+        codec = RowCodec(self.schema())
+        row = self.row()
+        decoded = codec.decode_row(codec.encode_row(row))
+        assert decoded["fid"] == 7
+        assert decoded["name"] == "alpha"
+        assert decoded["geom"] == row["geom"]
+        assert len(decoded["gps"]) == 50
+
+    def test_null_fields(self):
+        codec = RowCodec(self.schema())
+        row = {"fid": 1, "name": None, "time": None, "geom": Point(0, 0),
+               "gps": None}
+        decoded = codec.decode_row(codec.encode_row(row))
+        assert decoded["name"] is None and decoded["gps"] is None
+
+    def test_nc_variant_is_larger_for_big_fields(self):
+        row = {
+            "fid": 1, "name": "x", "time": 0.0, "geom": Point(0, 0),
+            "gps": STSeries([(116.0 + i * 1e-5, 39.9, 1e9 + i * 30.0)
+                             for i in range(2000)]),
+        }
+        compressed = RowCodec(self.schema(), compression_enabled=True)
+        plain = RowCodec(self.schema(), compression_enabled=False)
+        assert len(compressed.encode_row(row)) < \
+            len(plain.encode_row(row)) * 0.8
+        # Both decode to the same values.
+        assert len(compressed.decode_row(
+            compressed.encode_row(row))["gps"]) == 2000
+        assert len(plain.decode_row(plain.encode_row(row))["gps"]) == 2000

@@ -1,0 +1,196 @@
+"""JustEngine facade: DDL, views, loading, query operations."""
+
+import pytest
+
+from repro import Envelope, FieldType, JustEngine, Point, Schema, Field
+from repro.curves.timeperiod import TimePeriod
+from repro.dataframe import DataFrame
+from repro.errors import (
+    ExecutionError,
+    TableExistsError,
+    TableNotFoundError,
+)
+
+from conftest import POI_SCHEMA_FIELDS, T0, make_poi_rows
+
+
+class TestTableLifecycle:
+    def test_create_drop(self, engine):
+        engine.create_table("t", Schema(list(POI_SCHEMA_FIELDS)))
+        assert engine.has_table("t")
+        engine.drop_table("t")
+        assert not engine.has_table("t")
+        assert not engine.store.has_table("t__id")
+
+    def test_duplicate_name_rejected(self, engine):
+        engine.create_table("t", Schema(list(POI_SCHEMA_FIELDS)))
+        with pytest.raises(TableExistsError):
+            engine.create_table("t", Schema(list(POI_SCHEMA_FIELDS)))
+
+    def test_view_table_name_collision(self, engine):
+        engine.create_view("x", DataFrame.from_rows([{"a": 1}]))
+        with pytest.raises(TableExistsError):
+            engine.create_table("x", Schema(list(POI_SCHEMA_FIELDS)))
+
+    def test_drop_missing(self, engine):
+        with pytest.raises(TableNotFoundError):
+            engine.drop_table("nope")
+
+
+class TestIndexConfiguration:
+    def test_point_with_time_gets_z2_z2t(self, engine):
+        table = engine.create_table("t", Schema(list(POI_SCHEMA_FIELDS)))
+        assert set(table.strategies) == {"z2", "z2t"}
+
+    def test_point_without_time_gets_z2(self, engine):
+        table = engine.create_table("t", Schema([
+            Field("fid", FieldType.INTEGER, primary_key=True),
+            Field("geom", FieldType.POINT),
+        ]))
+        assert set(table.strategies) == {"z2"}
+
+    def test_polygon_gets_xz(self, engine):
+        table = engine.create_table("t", Schema([
+            Field("fid", FieldType.INTEGER, primary_key=True),
+            Field("time", FieldType.DATE),
+            Field("geom", FieldType.POLYGON),
+        ]))
+        assert set(table.strategies) == {"xz2", "xz2t"}
+
+    def test_userdata_overrides_indexes(self, engine):
+        table = engine.create_table(
+            "t", Schema(list(POI_SCHEMA_FIELDS)),
+            userdata={"geomesa.indices.enabled": "z3"})
+        assert set(table.strategies) == {"z3"}
+
+    def test_userdata_time_period(self, engine):
+        table = engine.create_table(
+            "t", Schema(list(POI_SCHEMA_FIELDS)),
+            userdata={"just.time_period": "year"})
+        assert table.strategies["z2t"].period is TimePeriod.YEAR
+
+    def test_attribute_only_table(self, engine):
+        table = engine.create_table("t", Schema([
+            Field("fid", FieldType.INTEGER, primary_key=True),
+            Field("name", FieldType.STRING),
+        ]))
+        assert table.strategies == {}
+        engine.insert("t", [{"fid": 1, "name": "x"}])
+        assert table.get("1")["name"] == "x"
+
+
+class TestViews:
+    def test_create_use_drop(self, engine):
+        engine.create_view("v", DataFrame.from_rows([{"a": 1}, {"a": 2}]))
+        assert engine.view("v").dataframe.count() == 2
+        engine.drop_view("v")
+        with pytest.raises(TableNotFoundError):
+            engine.view("v")
+
+    def test_expire_views(self, engine):
+        engine.create_view("v", DataFrame.from_rows([{"a": 1}]))
+        assert engine.expire_views(max_idle_seconds=-1.0) == ["v"]
+        assert not engine.has_view("v")
+
+    def test_store_view_infers_schema(self, poi_engine):
+        poi_engine.create_view("v", DataFrame.from_rows(
+            [{"name": "a", "score": 1.5}, {"name": "b", "score": 2.5}]))
+        table = poi_engine.store_view_to_table("v", "scores")
+        assert table.row_count == 2
+        assert table.schema.primary_key.name == "fid"
+
+    def test_store_view_time_column_becomes_date(self, engine):
+        engine.create_view("v", DataFrame.from_rows(
+            [{"id": 1, "time": T0, "geom": Point(116.0, 39.9)}]))
+        table = engine.store_view_to_table("v", "stored")
+        assert table.schema.field("time").ftype is FieldType.DATE
+        assert set(table.strategies) == {"z2", "z2t"}
+
+
+class TestQueries:
+    def test_spatial_range(self, poi_engine, poi_rows):
+        env = Envelope(116.1, 39.85, 116.3, 40.0)
+        result = poi_engine.spatial_range_query("poi", env)
+        expected = [r for r in poi_rows
+                    if env.contains_point(r["geom"].lng, r["geom"].lat)]
+        assert len(result.rows) == len(expected)
+        assert result.sim_ms > 0
+
+    def test_st_range(self, poi_engine, poi_rows):
+        env = Envelope(116.0, 39.8, 116.5, 40.1)
+        result = poi_engine.st_range_query("poi", env, T0, T0 + 86400)
+        expected = [r for r in poi_rows if T0 <= r["time"] <= T0 + 86400]
+        assert len(result.rows) == len(expected)
+
+    def test_knn(self, poi_engine):
+        result = poi_engine.knn("poi", 116.25, 39.9, 7)
+        assert len(result.rows) == 7
+        assert "areas_queried" in result.extra
+
+    def test_query_result_dataframe(self, poi_engine):
+        result = poi_engine.spatial_range_query(
+            "poi", Envelope(116.0, 39.8, 116.5, 40.1))
+        df = result.dataframe()
+        assert df.count() == len(result.rows)
+
+
+class TestLoad:
+    def test_load_from_source_with_mapping(self, engine):
+        engine.create_table("t", Schema(list(POI_SCHEMA_FIELDS)))
+        engine.register_source("src", [
+            {"oid": "1", "lng": "116.1", "lat": "39.9",
+             "ts": str(int(T0 * 1000))},
+            {"oid": "2", "lng": "116.2", "lat": "39.95",
+             "ts": str(int((T0 + 60) * 1000))},
+        ])
+        result = engine.load("hive:src", "t", {
+            "fid": "to_int(oid)",
+            "name": "oid",
+            "time": "long_to_date_ms(ts)",
+            "geom": "lng_lat_to_point(lng, lat)",
+        })
+        assert result.extra["loaded"] == 2
+        assert engine.table("t").get("1")["time"] == pytest.approx(T0)
+
+    def test_load_filter_and_limit(self, engine):
+        engine.create_table("t", Schema(list(POI_SCHEMA_FIELDS)))
+        engine.register_source("src", [
+            {"oid": str(i), "lng": "116.1", "lat": "39.9",
+             "ts": "1500000000000"} for i in range(10)])
+        result = engine.load(
+            "hive:src", "t",
+            {"fid": "to_int(oid)", "name": "oid",
+             "time": "long_to_date_ms(ts)",
+             "geom": "lng_lat_to_point(lng, lat)"},
+            row_filter=lambda r: int(r["oid"]) % 2 == 0, limit=3)
+        assert result.extra["loaded"] == 3
+
+    def test_unknown_scheme(self, engine):
+        engine.create_table("t", Schema(list(POI_SCHEMA_FIELDS)))
+        with pytest.raises(ExecutionError):
+            engine.load("ftp:somewhere", "t", {})
+
+
+class TestUpdateEnabled:
+    """The paper's headline property: inserts and historical updates
+    without index reconstruction."""
+
+    def test_incremental_insert_visible(self, poi_engine):
+        env = Envelope(100.0, 9.9, 100.1, 10.1)
+        assert len(poi_engine.spatial_range_query("poi", env).rows) == 0
+        poi_engine.insert("poi", [{
+            "fid": 9_001, "name": "late", "time": T0,
+            "geom": Point(100.05, 10.0)}])
+        assert len(poi_engine.spatial_range_query("poi", env).rows) == 1
+
+    def test_historical_update(self, poi_engine):
+        """Re-writing a record with an *older* timestamp works — the case
+        ST-Hadoop cannot handle."""
+        old_time = T0 - 86400 * 365
+        poi_engine.insert("poi", [{
+            "fid": 5, "name": "historical", "time": old_time,
+            "geom": Point(116.2, 39.9)}])
+        result = poi_engine.st_range_query(
+            "poi", Envelope(116.0, 39.8, 116.5, 40.1),
+            old_time - 10, old_time + 10)
+        assert [r["name"] for r in result.rows] == ["historical"]

@@ -1,0 +1,73 @@
+"""The geofence plugin table (future work #2)."""
+
+import pytest
+
+from repro import JustEngine, Polygon
+
+from conftest import T0
+
+
+def square(lng, lat, side):
+    return Polygon([(lng, lat), (lng + side, lat),
+                    (lng + side, lat + side), (lng, lat + side)])
+
+
+@pytest.fixture
+def fences(engine: JustEngine):
+    table = engine.create_plugin_table("fences", "geofence")
+    table.insert_rows([
+        {"gid": "dock", "name": "Loading dock", "category": "delivery",
+         "valid_from": T0, "valid_to": T0 + 86400,
+         "area": square(116.30, 39.90, 0.01)},
+        {"gid": "event", "name": "Marathon", "category": "closure",
+         "valid_from": T0 + 3600, "valid_to": T0 + 7200,
+         "area": square(116.305, 39.905, 0.02)},
+        {"gid": "far", "name": "Other district", "category": "delivery",
+         "valid_from": T0, "valid_to": T0 + 86400,
+         "area": square(116.60, 40.10, 0.01)},
+    ])
+    return table
+
+
+class TestGeofencePlugin:
+    def test_created_via_sql(self, engine):
+        engine.sql("CREATE TABLE zones AS geofence")
+        table = engine.table("zones")
+        assert table.plugin_type == "geofence"
+        assert set(table.strategies) == {"xz2", "xz2t"}
+
+    def test_item_is_the_polygon(self, fences):
+        row = fences.get("dock")
+        assert row["item"] == row["area"]
+
+    def test_hit_test_point_and_time(self, fences):
+        # Inside both polygons, but only 'dock' is valid at T0.
+        hits = fences.active_fences(116.306, 39.906, T0)
+        assert [h["gid"] for h in hits] == ["dock"]
+        # An hour later the marathon closure also applies.
+        hits = fences.active_fences(116.306, 39.906, T0 + 3600)
+        assert {h["gid"] for h in hits} == {"dock", "event"}
+
+    def test_hit_test_outside_polygons(self, fences):
+        assert fences.active_fences(116.50, 39.95, T0) == []
+
+    def test_hit_test_after_expiry(self, fences):
+        assert fences.active_fences(116.306, 39.906, T0 + 10 * 86400) == []
+
+    def test_queryable_via_sql(self, engine, fences):
+        rs = engine.sql(
+            f"SELECT gid FROM fences WHERE area WITHIN "
+            f"st_makeMBR(116.29, 39.89, 116.35, 39.95) "
+            f"AND valid_from BETWEEN {T0 - 1} AND {T0 + 86400}")
+        assert {r["gid"] for r in rs.rows} == {"dock", "event"}
+
+    def test_update_replaces_fence(self, fences):
+        fences.insert_rows([{
+            "gid": "dock", "name": "Loading dock v2",
+            "category": "delivery", "valid_from": T0,
+            "valid_to": T0 + 86400,
+            "area": square(116.40, 39.95, 0.01)}])
+        assert fences.row_count == 3
+        assert fences.active_fences(116.305, 39.905, T0) == []
+        hits = fences.active_fences(116.405, 39.955, T0)
+        assert [h["name"] for h in hits] == ["Loading dock v2"]

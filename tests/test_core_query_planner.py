@@ -1,0 +1,79 @@
+"""Index selection for range queries."""
+
+import pytest
+
+from repro.core.query import choose_strategy
+from repro.curves import STQuery
+from repro.errors import ExecutionError
+from repro.geometry import Envelope
+
+from conftest import T0
+
+ENV = Envelope(116.0, 39.8, 116.5, 40.1)
+
+
+class FakeTable:
+    def __init__(self, strategies, time_extent=None):
+        self.name = "fake"
+        self.strategies = dict.fromkeys(strategies)
+        self.time_extent = time_extent
+
+
+def test_st_query_prefers_z2t():
+    name, query = choose_strategy(FakeTable(["z2", "z2t"]),
+                                  STQuery(ENV, T0, T0 + 10))
+    assert name == "z2t"
+    assert query.has_temporal
+
+
+def test_st_query_falls_back_to_z3():
+    name, _query = choose_strategy(FakeTable(["z3"]),
+                                   STQuery(ENV, T0, T0 + 10))
+    assert name == "z3"
+
+
+def test_st_query_with_spatial_only_index_drops_time():
+    name, query = choose_strategy(FakeTable(["z2"]),
+                                  STQuery(ENV, T0, T0 + 10))
+    assert name == "z2"
+    assert not query.has_temporal  # time filtered post-scan
+
+
+def test_spatial_query_prefers_z2():
+    name, _q = choose_strategy(FakeTable(["z2", "z2t"]),
+                               STQuery(envelope=ENV))
+    assert name == "z2"
+
+
+def test_spatial_query_widens_temporal_index():
+    table = FakeTable(["z2t"], time_extent=(T0, T0 + 100))
+    name, query = choose_strategy(table, STQuery(envelope=ENV))
+    assert name == "z2t"
+    assert query.t_min == T0 and query.t_max == T0 + 100
+
+
+def test_temporal_query_uses_world_envelope():
+    name, query = choose_strategy(FakeTable(["z2t"]),
+                                  STQuery(None, T0, T0 + 10))
+    assert name == "z2t"
+    assert query.envelope == Envelope.world()
+
+
+def test_xz_variants_selected_for_plugin_tables():
+    name, _q = choose_strategy(FakeTable(["xz2", "xz2t"]),
+                               STQuery(ENV, T0, T0 + 10))
+    assert name == "xz2t"
+
+
+def test_period_suffixed_names_match():
+    name, _q = choose_strategy(FakeTable(["z3:year"]),
+                               STQuery(ENV, T0, T0 + 10))
+    assert name == "z3:year"
+
+
+def test_no_usable_index_raises():
+    with pytest.raises(ExecutionError):
+        choose_strategy(FakeTable([]), STQuery(envelope=ENV))
+    with pytest.raises(ExecutionError):
+        # Spatial-only query, temporal index, no time stats yet.
+        choose_strategy(FakeTable(["z2t"]), STQuery(envelope=ENV))

@@ -1,0 +1,149 @@
+"""Common/plugin/view tables: inserts, updates, queries, storage."""
+
+import pytest
+
+from repro.core.plugins import TrajectoryPlugin
+from repro.core.tables import ViewTable
+from repro.curves import STQuery
+from repro.dataframe import DataFrame
+from repro.errors import SchemaError
+from repro.geometry import Envelope, Point
+from repro.trajectory import STSeries, Trajectory
+
+from conftest import T0, make_poi_rows
+
+
+class TestCommonTable:
+    def test_insert_and_count(self, poi_engine):
+        table = poi_engine.table("poi")
+        assert table.row_count == 500
+
+    def test_get_by_fid(self, poi_engine, poi_rows):
+        table = poi_engine.table("poi")
+        row = table.get("17")
+        assert row["name"] == poi_rows[17]["name"]
+        assert table.get("99999") is None
+
+    def test_update_replaces_index_entries(self, poi_engine):
+        table = poi_engine.table("poi")
+        moved = {"fid": 3, "name": "moved", "time": T0,
+                 "geom": Point(100.0, 10.0)}
+        table.insert_rows([moved])
+        assert table.row_count == 500  # update, not insert
+        hits = table.query(
+            STQuery(envelope=Envelope(99.9, 9.9, 100.1, 10.1)))
+        assert [r["name"] for r in hits] == ["moved"]
+
+    def test_delete(self, poi_engine):
+        table = poi_engine.table("poi")
+        assert table.delete("3")
+        assert not table.delete("3")
+        assert table.get("3") is None
+        assert table.row_count == 499
+
+    def test_spatial_query_exact(self, poi_engine, poi_rows):
+        table = poi_engine.table("poi")
+        env = Envelope(116.1, 39.85, 116.25, 39.95)
+        got = {r["fid"] for r in table.query(STQuery(envelope=env))}
+        expected = {r["fid"] for r in poi_rows
+                    if env.contains_point(r["geom"].lng, r["geom"].lat)}
+        assert got == expected
+
+    def test_st_query_exact(self, poi_engine, poi_rows):
+        table = poi_engine.table("poi")
+        env = Envelope(116.0, 39.8, 116.5, 40.1)
+        t_lo, t_hi = T0 + 86400, T0 + 2 * 86400
+        got = {r["fid"] for r in table.query(STQuery(env, t_lo, t_hi))}
+        expected = {r["fid"] for r in poi_rows
+                    if t_lo <= r["time"] <= t_hi}
+        assert got == expected
+
+    def test_time_only_query_widens_envelope(self, poi_engine, poi_rows):
+        table = poi_engine.table("poi")
+        t_lo, t_hi = T0, T0 + 86400
+        got = {r["fid"] for r in table.query(
+            STQuery(None, t_lo, t_hi))}
+        expected = {r["fid"] for r in poi_rows
+                    if t_lo <= r["time"] <= t_hi}
+        assert got == expected
+
+    def test_stats_tracked(self, poi_engine, poi_rows):
+        table = poi_engine.table("poi")
+        assert table.time_extent[0] == min(r["time"] for r in poi_rows)
+        assert table.data_envelope.contains_point(
+            poi_rows[0]["geom"].lng, poi_rows[0]["geom"].lat)
+
+    def test_full_scan(self, poi_engine):
+        assert len(poi_engine.table("poi").full_scan()) == 500
+
+    def test_storage_bytes_positive_after_flush(self, poi_engine):
+        table = poi_engine.table("poi")
+        table.flush()
+        assert table.storage_bytes(include_memstore=False) > 0
+
+    def test_missing_geometry_rejected(self, engine):
+        from repro.core.schema import Field, FieldType, Schema
+        engine.create_table("t", Schema([
+            Field("fid", FieldType.INTEGER, primary_key=True),
+            Field("geom", FieldType.POINT),
+        ]))
+        with pytest.raises(SchemaError):
+            engine.table("t").insert_rows([{"fid": 1, "geom": None}])
+
+
+class TestTrajectoryPlugin:
+    def make_traj(self, tid="t1", n=20, lng0=116.2, t0=T0):
+        points = [(lng0 + i * 0.001, 39.9 + i * 0.0005, t0 + i * 30.0)
+                  for i in range(n)]
+        return Trajectory(tid, "o1", STSeries(points))
+
+    def test_insert_and_item(self, engine):
+        table = engine.create_plugin_table("traj", "trajectory")
+        table.insert_trajectories([self.make_traj()])
+        row = table.get("t1")
+        assert isinstance(row["item"], Trajectory)
+        assert row["item"].tid == "t1"
+        assert len(row["item"].points) == 20
+
+    def test_st_query_matches_extent(self, engine):
+        table = engine.create_plugin_table("traj", "trajectory")
+        table.insert_trajectories([
+            self.make_traj("early", t0=T0),
+            self.make_traj("late", t0=T0 + 86400 * 3),
+        ])
+        hits = table.query(STQuery(Envelope(116.0, 39.8, 116.5, 40.0),
+                                   T0 - 100, T0 + 3600))
+        assert [r["tid"] for r in hits] == ["early"]
+
+    def test_exact_line_filtering(self, engine):
+        """The query envelope intersects the trajectory MBR but not the
+        polyline itself: exact filtering must exclude it."""
+        table = engine.create_plugin_table("traj", "trajectory")
+        diagonal = Trajectory("diag", "o", STSeries(
+            [(116.0, 39.8, T0), (116.2, 40.0, T0 + 600)]))
+        table.insert_trajectories([diagonal])
+        # A box in the MBR corner away from the diagonal.
+        corner = Envelope(116.15, 39.8, 116.2, 39.85)
+        assert table.query(STQuery(corner, T0, T0 + 600)) == []
+        on_path = Envelope(116.09, 39.89, 116.11, 39.91)
+        assert len(table.query(STQuery(on_path, T0, T0 + 600))) == 1
+
+    def test_default_indexes(self, engine):
+        table = engine.create_plugin_table("traj", "trajectory")
+        assert set(table.strategies) == {"xz2", "xz2t"}
+
+    def test_columns_include_item(self, engine):
+        table = engine.create_plugin_table("traj", "trajectory")
+        assert table.columns()[-1] == "item"
+
+
+class TestViewTable:
+    def test_touch_updates_recency(self):
+        view = ViewTable("v", DataFrame.from_rows([{"a": 1}]))
+        before = view.last_used_at
+        view.touch()
+        assert view.last_used_at >= before
+
+    def test_describe(self):
+        view = ViewTable("v", DataFrame.from_rows([{"a": 1, "b": 2}]))
+        assert [r["field"] for r in view.describe()] == ["a", "b"]

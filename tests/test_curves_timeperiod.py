@@ -1,0 +1,69 @@
+"""Time-period binning (Equation 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.curves.timeperiod import (
+    TimePeriod,
+    period_bin,
+    period_bins_covering,
+    period_offset,
+    period_start,
+)
+
+times = st.floats(-1e10, 4e9, allow_nan=False)
+periods = st.sampled_from(list(TimePeriod))
+
+
+def test_equation_one_examples():
+    assert period_bin(0.0, TimePeriod.DAY) == 0
+    assert period_bin(86399.9, TimePeriod.DAY) == 0
+    assert period_bin(86400.0, TimePeriod.DAY) == 1
+    assert period_bin(-1.0, TimePeriod.DAY) == -1  # pre-epoch data
+
+
+def test_from_name():
+    assert TimePeriod.from_name("day") is TimePeriod.DAY
+    assert TimePeriod.from_name("CENTURY") is TimePeriod.CENTURY
+    with pytest.raises(ValueError):
+        TimePeriod.from_name("fortnight")
+
+
+def test_period_lengths_ordered():
+    lengths = [p.seconds for p in (TimePeriod.HOUR, TimePeriod.DAY,
+                                   TimePeriod.WEEK, TimePeriod.MONTH,
+                                   TimePeriod.YEAR, TimePeriod.DECADE,
+                                   TimePeriod.CENTURY)]
+    assert lengths == sorted(lengths)
+
+
+@given(t=times, period=periods)
+def test_offset_in_unit_interval(t, period):
+    fraction = period_offset(t, period)
+    assert 0.0 <= fraction < 1.0 + 1e-9
+
+
+@given(t=times, period=periods)
+def test_bin_start_consistency(t, period):
+    bin_number = period_bin(t, period)
+    start = period_start(bin_number, period)
+    # Relative slack: float division at |t| ~ 1e10 loses absolute
+    # precision comparable to a few microseconds per billion seconds.
+    slack = max(1e-6, abs(t) * 1e-9)
+    assert start - slack <= t < start + period.seconds + slack
+
+
+def test_bins_covering():
+    day = TimePeriod.DAY
+    assert list(period_bins_covering(0.0, 86400.0 * 2.5, day)) == [0, 1, 2]
+    assert list(period_bins_covering(100.0, 100.0, day)) == [0]
+    with pytest.raises(ValueError):
+        period_bins_covering(100.0, 0.0, day)
+
+
+@given(t1=times, t2=times, period=periods)
+def test_bins_covering_includes_endpoints(t1, t2, period):
+    lo, hi = sorted((t1, t2))
+    bins = period_bins_covering(lo, hi, period)
+    assert period_bin(lo, period) == bins.start
+    assert period_bin(hi, period) == bins.stop - 1

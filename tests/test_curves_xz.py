@@ -1,0 +1,118 @@
+"""XZ-ordering: sequence codes, query coverage, resolution behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves.xz import XZ2Curve, XZ3Curve
+from repro.errors import IndexError_
+from repro.geometry import Envelope
+
+lngs = st.floats(-179.9, 179.9, allow_nan=False)
+lats = st.floats(-89.9, 89.9, allow_nan=False)
+spans = st.floats(0.0, 5.0, allow_nan=False)
+
+
+def small_envelope(lng, lat, w, h):
+    return Envelope(lng, lat, min(180.0, lng + w), min(90.0, lat + h))
+
+
+class TestXZ2Codes:
+    def test_code_bounds(self):
+        curve = XZ2Curve(g=6)
+        env = Envelope(0, 0, 0.001, 0.001)
+        code = curve.index(env)
+        assert 0 <= code <= curve.max_code()
+
+    def test_max_code_formula(self):
+        curve = XZ2Curve(g=3)
+        # (4^(g+1) - 1) / 3 - 1
+        assert curve.max_code() == (4 ** 4 - 1) // 3 - 1
+
+    def test_point_like_objects_get_max_depth(self):
+        curve = XZ2Curve(g=8)
+        tiny = Envelope.of_point(10.0, 10.0)
+        huge = Envelope(-170, -80, 170, 80)
+        assert curve.index(tiny) > curve.index(huge)
+
+    def test_deterministic(self):
+        curve = XZ2Curve()
+        env = Envelope(116.0, 39.8, 116.1, 39.9)
+        assert curve.index(env) == curve.index(env)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(IndexError_):
+            XZ2Curve(g=0)
+
+    def test_distinct_quadrants_distinct_codes(self):
+        curve = XZ2Curve(g=10)
+        nw = Envelope(-100, 40, -99.9, 40.1)
+        se = Envelope(100, -40, 100.1, -39.9)
+        assert curve.index(nw) != curve.index(se)
+
+
+class TestXZ2QueryRanges:
+    @given(lng=lngs, lat=lats, w=spans, h=spans)
+    @settings(max_examples=60)
+    def test_intersecting_element_is_covered(self, lng, lat, w, h):
+        curve = XZ2Curve(g=8)
+        element = small_envelope(lng, lat, w, h)
+        code = curve.index(element)
+        # Any query that intersects the element must produce ranges
+        # covering the element's code.
+        query = element.buffer(0.01, 0.01)
+        ranges = curve.ranges(query, max_ranges=512)
+        assert any(lo <= code <= hi for lo, hi in ranges)
+
+    def test_disjoint_far_query_excludes_small_element(self):
+        curve = XZ2Curve(g=10)
+        element = Envelope(100.0, 40.0, 100.001, 40.001)
+        code = curve.index(element)
+        query = Envelope(-100.0, -40.0, -99.0, -39.0)
+        ranges = curve.ranges(query, max_ranges=100_000)
+        assert not any(lo <= code <= hi for lo, hi in ranges)
+
+    def test_budget_respected(self):
+        curve = XZ2Curve(g=12)
+        query = Envelope(116.0, 39.8, 116.4, 40.0)
+        ranges = curve.ranges(query, max_ranges=32)
+        assert len(ranges) <= 32
+
+    def test_world_query_is_single_range(self):
+        curve = XZ2Curve(g=6)
+        ranges = curve.ranges(Envelope.world())
+        assert ranges == [(0, curve.max_code())]
+
+
+class TestXZ3:
+    def test_code_bounds(self):
+        curve = XZ3Curve(g=5)
+        env = Envelope(10, 10, 10.01, 10.01)
+        code = curve.index(env, 0.2, 0.3)
+        assert 0 <= code <= curve.max_code()
+        assert curve.max_code() == (8 ** 6 - 1) // 7 - 1
+
+    @given(lng=lngs, lat=lats, w=spans, h=spans,
+           t0=st.floats(0, 0.9), dt=st.floats(0, 0.1))
+    @settings(max_examples=60)
+    def test_st_element_covered_by_intersecting_query(self, lng, lat, w,
+                                                      h, t0, dt):
+        curve = XZ3Curve(g=6)
+        element = small_envelope(lng, lat, w, h)
+        code = curve.index(element, t0, min(1.0, t0 + dt))
+        query = element.buffer(0.01, 0.01)
+        ranges = curve.ranges(query, max(0.0, t0 - 0.01),
+                              min(1.0, t0 + dt + 0.01), max_ranges=512)
+        assert any(lo <= code <= hi for lo, hi in ranges)
+
+    def test_temporal_separation(self):
+        curve = XZ3Curve(g=8)
+        element = Envelope(10, 10, 10.001, 10.001)
+        morning = curve.index(element, 0.05, 0.06)
+        evening_query = curve.ranges(element.buffer(0.01, 0.01),
+                                     0.8, 0.9, max_ranges=100_000)
+        assert not any(lo <= morning <= hi for lo, hi in evening_query)
+
+    def test_inverted_bounds_raise(self):
+        curve = XZ3Curve(g=4)
+        with pytest.raises(IndexError_):
+            curve._index_normalized([0.5, 0.5, 0.5], [0.4, 0.6, 0.6])

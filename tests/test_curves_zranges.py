@@ -1,0 +1,110 @@
+"""Query-range decomposition: coverage, precision, budget behaviour."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.curves.zorder import interleave2, interleave3
+from repro.curves.zranges import _merge_ranges, z2_ranges, z3_ranges
+
+BITS2 = 8   # small bit widths keep exhaustive checks cheap
+cell8 = st.integers(0, (1 << BITS2) - 1)
+
+
+def covered(ranges, z):
+    return any(lo <= z <= hi for lo, hi in ranges)
+
+
+class TestMerge:
+    def test_merge_adjacent(self):
+        assert _merge_ranges([(0, 3), (4, 9)]) == [(0, 9)]
+
+    def test_merge_overlapping(self):
+        assert _merge_ranges([(0, 5), (3, 9), (20, 30)]) == \
+            [(0, 9), (20, 30)]
+
+    def test_merge_empty(self):
+        assert _merge_ranges([]) == []
+
+    def test_merge_unsorted_input(self):
+        assert _merge_ranges([(10, 12), (0, 2)]) == [(0, 2), (10, 12)]
+
+
+class TestZ2Ranges:
+    @given(x1=cell8, y1=cell8, x2=cell8, y2=cell8)
+    @settings(max_examples=50)
+    def test_every_cell_in_box_is_covered(self, x1, y1, x2, y2):
+        x_lo, x_hi = sorted((x1, x2))
+        y_lo, y_hi = sorted((y1, y2))
+        ranges = z2_ranges(x_lo, y_lo, x_hi, y_hi, bits=BITS2)
+        # Exhaustively verify a sample of inner cells.
+        xs = {x_lo, x_hi, (x_lo + x_hi) // 2}
+        ys = {y_lo, y_hi, (y_lo + y_hi) // 2}
+        for x in xs:
+            for y in ys:
+                assert covered(ranges, interleave2(x, y))
+
+    @given(x1=cell8, y1=cell8, x2=cell8, y2=cell8)
+    @settings(max_examples=30)
+    def test_outside_corner_cells_not_covered_when_tight(self, x1, y1,
+                                                         x2, y2):
+        x_lo, x_hi = sorted((x1, x2))
+        y_lo, y_hi = sorted((y1, y2))
+        ranges = z2_ranges(x_lo, y_lo, x_hi, y_hi, bits=BITS2,
+                           max_ranges=100_000)
+        # With an unconstrained budget the decomposition is exact:
+        # cells just outside the box must not be covered.
+        if x_lo > 0:
+            assert not covered(ranges, interleave2(x_lo - 1, y_lo))
+        if y_hi < (1 << BITS2) - 1:
+            assert not covered(ranges, interleave2(x_lo, y_hi + 1))
+
+    def test_full_domain_is_single_range(self):
+        top = (1 << BITS2) - 1
+        ranges = z2_ranges(0, 0, top, top, bits=BITS2)
+        assert ranges == [(0, (1 << (2 * BITS2)) - 1)]
+
+    def test_single_cell(self):
+        ranges = z2_ranges(5, 9, 5, 9, bits=BITS2)
+        z = interleave2(5, 9)
+        assert ranges == [(z, z)]
+
+    def test_budget_caps_range_count(self):
+        top = (1 << 16) - 1
+        ranges = z2_ranges(1, 1, top - 1, top - 1, bits=16, max_ranges=16)
+        assert len(ranges) <= 16
+
+    def test_budget_still_covers(self):
+        # Tight budget must over-approximate, never under-approximate.
+        ranges = z2_ranges(10, 20, 200, 220, bits=BITS2, max_ranges=4)
+        for x in (10, 100, 200):
+            for y in (20, 120, 220):
+                assert covered(ranges, interleave2(x, y))
+
+    def test_more_budget_less_coverage(self):
+        span = sum(hi - lo + 1 for lo, hi in
+                   z2_ranges(3, 3, 200, 200, bits=BITS2, max_ranges=4))
+        tight = sum(hi - lo + 1 for lo, hi in
+                    z2_ranges(3, 3, 200, 200, bits=BITS2, max_ranges=256))
+        assert tight <= span
+
+
+class TestZ3Ranges:
+    def test_cube_coverage(self):
+        ranges = z3_ranges(1, 2, 3, 6, 7, 8, bits=6)
+        for x in (1, 4, 6):
+            for y in (2, 5, 7):
+                for t in (3, 5, 8):
+                    assert covered(ranges, interleave3(x, y, t))
+
+    def test_exact_when_unbudgeted(self):
+        ranges = z3_ranges(2, 2, 2, 3, 3, 3, bits=4, max_ranges=100_000)
+        assert not covered(ranges, interleave3(1, 2, 2))
+        assert not covered(ranges, interleave3(2, 4, 2))
+        assert covered(ranges, interleave3(3, 3, 3))
+
+    def test_time_slab_produces_many_ranges(self):
+        # A thin spatial box over a wide time slab fragments into many
+        # ranges in Z3 — the phenomenon motivating Z2T (Section IV-B).
+        top = (1 << 6) - 1
+        ranges = z3_ranges(10, 10, 0, 11, 11, top, bits=6,
+                           max_ranges=10_000)
+        assert len(ranges) > 8

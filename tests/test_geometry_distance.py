@@ -1,0 +1,64 @@
+"""Distance function correctness."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.distance import (
+    METERS_PER_DEGREE,
+    euclidean_distance,
+    haversine_distance_m,
+    km_to_degrees,
+    point_segment_distance,
+)
+
+lngs = st.floats(-180, 180, allow_nan=False)
+lats = st.floats(-90, 90, allow_nan=False)
+
+
+def test_euclidean_basics():
+    assert euclidean_distance(0, 0, 3, 4) == 5.0
+    assert euclidean_distance(1, 1, 1, 1) == 0.0
+
+
+def test_haversine_equator_degree():
+    d = haversine_distance_m(0, 0, 1, 0)
+    assert d == pytest.approx(111_195, rel=0.01)
+
+
+def test_haversine_latitude_shrinks_longitude():
+    at_equator = haversine_distance_m(0, 0, 1, 0)
+    at_60 = haversine_distance_m(0, 60, 1, 60)
+    assert at_60 == pytest.approx(at_equator * math.cos(math.radians(60)),
+                                  rel=0.01)
+
+
+def test_point_segment_distance_projection():
+    # Point above the middle of a horizontal segment.
+    assert point_segment_distance(5, 3, 0, 0, 10, 0) == 3.0
+    # Point beyond an endpoint: distance to the endpoint.
+    assert point_segment_distance(-3, 4, 0, 0, 10, 0) == 5.0
+    # Degenerate segment.
+    assert point_segment_distance(3, 4, 0, 0, 0, 0) == 5.0
+
+
+def test_km_to_degrees():
+    assert km_to_degrees(111.32) == pytest.approx(1.0, rel=0.001)
+    assert METERS_PER_DEGREE == pytest.approx(111_320.0)
+
+
+@given(x1=lngs, y1=lats, x2=lngs, y2=lats)
+def test_haversine_symmetry_and_nonnegativity(x1, y1, x2, y2):
+    d1 = haversine_distance_m(x1, y1, x2, y2)
+    d2 = haversine_distance_m(x2, y2, x1, y1)
+    assert d1 == pytest.approx(d2, rel=1e-9, abs=1e-6)
+    assert d1 >= 0.0
+
+
+@given(x1=lngs, y1=lats, x2=lngs, y2=lats, x3=lngs, y3=lats)
+def test_euclidean_triangle_inequality(x1, y1, x2, y2, x3, y3):
+    ab = euclidean_distance(x1, y1, x2, y2)
+    bc = euclidean_distance(x2, y2, x3, y3)
+    ac = euclidean_distance(x1, y1, x3, y3)
+    assert ac <= ab + bc + 1e-9

@@ -1,0 +1,109 @@
+"""Envelope predicates and measures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Envelope
+
+coords = st.floats(-180, 180, allow_nan=False)
+lats = st.floats(-90, 90, allow_nan=False)
+
+
+def env(a=0.0, b=0.0, c=10.0, d=10.0):
+    return Envelope(a, b, c, d)
+
+
+class TestConstruction:
+    def test_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            Envelope(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(GeometryError):
+            Envelope(0.0, 1.0, 1.0, 0.0)
+
+    def test_point_envelope_has_zero_area(self):
+        e = Envelope.of_point(3.0, 4.0)
+        assert e.area == 0.0
+        assert e.contains_point(3.0, 4.0)
+
+    def test_world_contains_everything(self):
+        world = Envelope.world()
+        assert world.contains(env())
+        assert world.contains_point(-180.0, -90.0)
+
+    def test_union_all(self):
+        e = Envelope.union_all([env(0, 0, 1, 1), env(5, 5, 6, 7)])
+        assert e.as_tuple() == (0, 0, 6, 7)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Envelope.union_all([])
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self):
+        e = env()
+        assert e.contains_point(0.0, 0.0)
+        assert e.contains_point(10.0, 10.0)
+        assert not e.contains_point(10.0001, 5.0)
+
+    def test_contains_envelope(self):
+        assert env().contains(env(1, 1, 9, 9))
+        assert not env().contains(env(1, 1, 11, 9))
+        assert env().contains(env())  # itself
+
+    def test_intersects_touching_edges(self):
+        assert env(0, 0, 1, 1).intersects(env(1, 0, 2, 1))
+        assert not env(0, 0, 1, 1).intersects(env(1.001, 0, 2, 1))
+
+    def test_intersection(self):
+        shared = env(0, 0, 5, 5).intersection(env(3, 3, 8, 8))
+        assert shared.as_tuple() == (3, 3, 5, 5)
+        assert env(0, 0, 1, 1).intersection(env(2, 2, 3, 3)) is None
+
+    def test_expand(self):
+        assert env(0, 0, 1, 1).expand(env(5, -2, 6, 0)).as_tuple() == \
+            (0, -2, 6, 1)
+
+
+class TestMeasures:
+    def test_width_height_area_center(self):
+        e = env(0, 0, 4, 2)
+        assert (e.width, e.height, e.area) == (4, 2, 8)
+        assert e.center == (2, 1)
+
+    def test_min_distance_inside_is_zero(self):
+        assert env().min_distance_to_point(5, 5) == 0.0
+
+    def test_min_distance_outside(self):
+        assert env().min_distance_to_point(13, 14) == 5.0  # 3-4-5
+
+    def test_quadrants_partition(self):
+        quadrants = env().quadrants()
+        assert len(quadrants) == 4
+        assert Envelope.union_all(list(quadrants)).as_tuple() == \
+            env().as_tuple()
+        assert sum(q.area for q in quadrants) == pytest.approx(env().area)
+
+    def test_buffer(self):
+        assert env().buffer(1, 2).as_tuple() == (-1, -2, 11, 12)
+
+
+@given(x1=coords, y1=lats, x2=coords, y2=lats, px=coords, py=lats)
+def test_contains_point_consistent_with_distance(x1, y1, x2, y2, px, py):
+    e = Envelope(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+    inside = e.contains_point(px, py)
+    distance = e.min_distance_to_point(px, py)
+    assert inside == (distance == 0.0)
+
+
+@given(x1=coords, y1=lats, x2=coords, y2=lats)
+def test_intersection_is_commutative_and_contained(x1, y1, x2, y2):
+    a = Envelope(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+    b = Envelope(-10, -10, 20, 20)
+    ab = a.intersection(b)
+    ba = b.intersection(a)
+    assert (ab is None) == (ba is None)
+    if ab is not None:
+        assert ab.as_tuple() == ba.as_tuple()
+        assert a.contains(ab) and b.contains(ab)

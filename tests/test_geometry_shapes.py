@@ -1,0 +1,99 @@
+"""Point / LineString / Polygon behaviour."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Envelope, LineString, Point, Polygon
+
+
+class TestPoint:
+    def test_basic(self):
+        p = Point(116.3, 39.9)
+        assert p.is_point()
+        assert p.envelope.as_tuple() == (116.3, 39.9, 116.3, 39.9)
+        assert p.coords() == (116.3, 39.9)
+
+    def test_bounds_validation(self):
+        with pytest.raises(GeometryError):
+            Point(181.0, 0.0)
+        with pytest.raises(GeometryError):
+            Point(0.0, -91.0)
+        with pytest.raises(GeometryError):
+            Point(float("nan"), 0.0)
+
+    def test_intersects_envelope_is_containment(self):
+        p = Point(5.0, 5.0)
+        assert p.intersects_envelope(Envelope(0, 0, 10, 10))
+        assert not p.intersects_envelope(Envelope(6, 6, 10, 10))
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+        assert Point(1.0, 2.0) != Point(1.0, 2.5)
+
+
+class TestLineString:
+    def test_requires_two_points(self):
+        with pytest.raises(GeometryError):
+            LineString([(0.0, 0.0)])
+
+    def test_envelope(self):
+        line = LineString([(0, 0), (2, 5), (4, 1)])
+        assert line.envelope.as_tuple() == (0, 0, 4, 5)
+        assert not line.is_point()
+
+    def test_length(self):
+        line = LineString([(0, 0), (3, 4)])
+        assert line.length_degrees() == pytest.approx(5.0)
+
+    def test_exact_intersection_crossing(self):
+        # Diagonal line whose envelope overlaps the box but whose
+        # geometry passes outside it.
+        line = LineString([(0, 10), (10, 0)])
+        assert line.intersects_envelope(Envelope(4, 4, 6, 6))
+        assert not line.intersects_envelope(Envelope(0, 0, 2, 2))
+
+    def test_endpoint_inside_box(self):
+        line = LineString([(5, 5), (20, 20)])
+        assert line.intersects_envelope(Envelope(0, 0, 10, 10))
+
+    def test_crossing_without_vertex_inside(self):
+        line = LineString([(-5, 5), (15, 5)])
+        assert line.intersects_envelope(Envelope(0, 0, 10, 10))
+
+
+class TestPolygon:
+    def test_requires_three_points(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_closed_ring_deduplicated(self):
+        tri = Polygon([(0, 0), (4, 0), (0, 4), (0, 0)])
+        assert len(tri.ring) == 3
+
+    def test_area(self):
+        tri = Polygon([(0, 0), (4, 0), (0, 4)])
+        assert tri.area_degrees() == pytest.approx(8.0)
+
+    def test_contains_point(self):
+        tri = Polygon([(0, 0), (4, 0), (0, 4)])
+        assert tri.contains_point(1.0, 1.0)
+        assert not tri.contains_point(3.0, 3.0)
+        assert tri.contains_point(0.0, 0.0)  # vertex counts as inside
+
+    def test_intersects_envelope_box_inside_polygon(self):
+        big = Polygon([(0, 0), (20, 0), (20, 20), (0, 20)])
+        assert big.intersects_envelope(Envelope(5, 5, 6, 6))
+
+    def test_intersects_envelope_polygon_inside_box(self):
+        tri = Polygon([(1, 1), (2, 1), (1, 2)])
+        assert tri.intersects_envelope(Envelope(0, 0, 10, 10))
+
+    def test_disjoint(self):
+        tri = Polygon([(0, 0), (1, 0), (0, 1)])
+        assert not tri.intersects_envelope(Envelope(5, 5, 6, 6))
+
+    def test_edge_crossing_only(self):
+        # A thin triangle slicing through the box corner.
+        tri = Polygon([(-1, 4), (6, 11), (-1, 11)])
+        assert tri.intersects_envelope(Envelope(0, 0, 5, 10))

@@ -1,0 +1,64 @@
+"""WKT round-tripping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import LineString, Point, Polygon, from_wkt, to_wkt
+
+lngs = st.floats(-180, 180, allow_nan=False, allow_infinity=False)
+lats = st.floats(-90, 90, allow_nan=False, allow_infinity=False)
+
+
+def test_point_roundtrip():
+    p = Point(-73.97, 40.78)
+    assert from_wkt(to_wkt(p)) == p
+
+
+def test_point_parse_formats():
+    assert from_wkt("POINT (1 2)") == Point(1, 2)
+    assert from_wkt("point(1.5 -2.25)") == Point(1.5, -2.25)
+    assert from_wkt("  POINT ( -1e1 2.0 )  ") == Point(-10, 2)
+
+
+def test_linestring_roundtrip():
+    line = LineString([(0, 0), (1.25, 2.5), (-3, 4)])
+    assert from_wkt(to_wkt(line)) == line
+
+
+def test_polygon_roundtrip():
+    poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+    parsed = from_wkt(to_wkt(poly))
+    assert parsed == poly
+
+
+def test_malformed_wkt_raises():
+    for bad in ("POINT 1 2", "LINESTRING ()", "CIRCLE (0 0 1)",
+                "POINT (1)", ""):
+        with pytest.raises(GeometryError):
+            from_wkt(bad)
+
+
+def test_unknown_geometry_type_raises():
+    class Fake:
+        pass
+    with pytest.raises(GeometryError):
+        to_wkt(Fake())
+
+
+@given(lng=lngs, lat=lats)
+def test_point_roundtrip_precision(lng, lat):
+    p = Point(lng, lat)
+    q = from_wkt(to_wkt(p))
+    assert q.lng == pytest.approx(lng, abs=1e-8)
+    assert q.lat == pytest.approx(lat, abs=1e-8)
+
+
+@given(coords=st.lists(st.tuples(lngs, lats), min_size=2, max_size=8))
+def test_linestring_roundtrip_precision(coords):
+    line = LineString(coords)
+    parsed = from_wkt(to_wkt(line))
+    assert len(parsed) == len(line)
+    for (x1, y1), (x2, y2) in zip(parsed.coords, line.coords):
+        assert x1 == pytest.approx(x2, abs=1e-8)
+        assert y1 == pytest.approx(y2, abs=1e-8)

@@ -1,0 +1,61 @@
+"""Block cache LRU behaviour."""
+
+from repro.kvstore.blockcache import BlockCache
+
+
+def test_admit_and_contains():
+    cache = BlockCache(1000)
+    cache.admit(("a",), 100)
+    assert cache.contains(("a",))
+    assert not cache.contains(("b",))
+
+
+def test_lru_eviction_order():
+    cache = BlockCache(300)
+    cache.admit(("a",), 100)
+    cache.admit(("b",), 100)
+    cache.admit(("c",), 100)
+    cache.contains(("a",))      # refresh a
+    cache.admit(("d",), 100)    # evicts b (least recently used)
+    assert cache.contains(("a",))
+    assert not cache.contains(("b",))
+    assert cache.contains(("c",)) and cache.contains(("d",))
+
+
+def test_oversized_block_rejected():
+    cache = BlockCache(100)
+    cache.admit(("big",), 200)
+    assert not cache.contains(("big",))
+    assert cache.used_bytes == 0
+
+
+def test_zero_capacity_disables():
+    cache = BlockCache(0)
+    cache.admit(("a",), 10)
+    assert not cache.contains(("a",))
+
+
+def test_readmit_updates_size():
+    cache = BlockCache(1000)
+    cache.admit(("a",), 100)
+    cache.admit(("a",), 300)
+    assert cache.used_bytes == 300
+    assert len(cache) == 1
+
+
+def test_invalidate_prefix():
+    cache = BlockCache(1000)
+    cache.admit(("t1", 1), 100)
+    cache.admit(("t1", 2), 100)
+    cache.admit(("t2", 1), 100)
+    cache.invalidate_prefix(("t1",))
+    assert not cache.contains(("t1", 1))
+    assert cache.contains(("t2", 1))
+    assert cache.used_bytes == 100
+
+
+def test_clear():
+    cache = BlockCache(1000)
+    cache.admit(("a",), 100)
+    cache.clear()
+    assert len(cache) == 0 and cache.used_bytes == 0

@@ -1,0 +1,56 @@
+"""MemStore behaviour: ordering, tombstones, size accounting."""
+
+from repro.kvstore.memstore import MemStore
+
+
+def test_put_get():
+    ms = MemStore()
+    ms.put(b"b", b"2")
+    ms.put(b"a", b"1")
+    assert ms.get(b"a") == (True, b"1")
+    assert ms.get(b"missing") == (False, None)
+
+
+def test_overwrite_updates_size():
+    ms = MemStore()
+    ms.put(b"k", b"xx")
+    first = ms.size_bytes
+    ms.put(b"k", b"xxxx")
+    assert ms.size_bytes == first + 2
+    assert len(ms) == 1
+
+
+def test_tombstone_found():
+    ms = MemStore()
+    ms.put(b"k", b"v")
+    ms.put(b"k", None)
+    assert ms.get(b"k") == (True, None)
+
+
+def test_scan_sorted_inclusive():
+    ms = MemStore()
+    for key in (b"d", b"a", b"c", b"b", b"e"):
+        ms.put(key, key.upper())
+    got = list(ms.scan(b"b", b"d"))
+    assert got == [(b"b", b"B"), (b"c", b"C"), (b"d", b"D")]
+
+
+def test_scan_empty_range():
+    ms = MemStore()
+    ms.put(b"a", b"1")
+    assert list(ms.scan(b"x", b"z")) == []
+
+
+def test_items_sorted():
+    ms = MemStore()
+    for key in (b"z", b"m", b"a"):
+        ms.put(key, b"v")
+    assert [k for k, _v in ms.items_sorted()] == [b"a", b"m", b"z"]
+
+
+def test_clear():
+    ms = MemStore()
+    ms.put(b"a", b"1")
+    ms.clear()
+    assert len(ms) == 0
+    assert ms.size_bytes == 0

@@ -1,0 +1,70 @@
+"""Model-based testing: the KV store vs a plain dict reference model.
+
+Random interleavings of put/delete/flush/compact/scan must behave exactly
+like a sorted dict, across memstore/SSTable boundaries and region splits.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.kvstore import KVStore, ScanSpec
+
+keys = st.binary(min_size=1, max_size=6)
+values = st.binary(min_size=0, max_size=40)
+
+
+class KVStoreMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        # Tiny thresholds force frequent flushes and region splits.
+        self.store = KVStore(num_servers=3, flush_bytes=512,
+                             split_bytes=2048, block_bytes=128)
+        self.table = self.store.create_table("t")
+        self.model: dict[bytes, bytes] = {}
+
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        self.table.put(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        self.table.delete(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.table.flush()
+
+    @rule()
+    def compact(self):
+        self.table.compact()
+
+    @rule(key=keys)
+    def get_matches_model(self, key):
+        assert self.table.get(key) == self.model.get(key)
+
+    @rule(lo=keys, hi=keys)
+    def scan_matches_model(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        got = list(self.table.scan(ScanSpec(lo, hi)))
+        expected = sorted((k, v) for k, v in self.model.items()
+                          if lo <= k <= hi)
+        assert got == expected
+
+    @invariant()
+    def full_scan_matches_model(self):
+        got = list(self.table.scan(ScanSpec.full()))
+        assert got == sorted(self.model.items())
+
+
+TestKVStoreModel = KVStoreMachine.TestCase
+TestKVStoreModel.settings = settings(max_examples=25,
+                                     stateful_step_count=30,
+                                     deadline=None)

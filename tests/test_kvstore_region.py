@@ -1,0 +1,101 @@
+"""Region internals: routing, flush/compaction, merge correctness."""
+
+from repro.kvstore.iostats import IOStats
+from repro.kvstore.region import Region, _predecessor
+
+
+def make_region(**kwargs):
+    defaults = dict(start_key=b"", end_key=None, stats=IOStats(),
+                    flush_bytes=1024, block_bytes=256)
+    defaults.update(kwargs)
+    return Region(**defaults)
+
+
+class TestRouting:
+    def test_owns_unbounded(self):
+        region = make_region()
+        assert region.owns(b"")
+        assert region.owns(b"\xff\xff")
+
+    def test_owns_bounded(self):
+        region = make_region(start_key=b"m", end_key=b"t")
+        assert not region.owns(b"a")
+        assert region.owns(b"m")
+        assert region.owns(b"s\xff")
+        assert not region.owns(b"t")  # end exclusive
+
+    def test_overlaps(self):
+        region = make_region(start_key=b"m", end_key=b"t")
+        assert region.overlaps(b"a", b"m")      # touches start
+        assert region.overlaps(b"p", b"z")
+        assert not region.overlaps(b"t", b"z")  # starts at excl end
+        assert not region.overlaps(b"a", b"l")
+
+
+class TestFlushCompact:
+    def test_auto_flush_on_threshold(self):
+        region = make_region(flush_bytes=256)
+        for i in range(50):
+            region.put(f"k{i:03d}".encode(), b"v" * 20)
+        assert len(region.sstables) >= 1
+
+    def test_compaction_merges_runs(self):
+        region = make_region()
+        for generation in range(10):
+            region.put(b"key", f"gen{generation}".encode())
+            region.flush()
+        region.compact()
+        assert len(region.sstables) == 1
+        assert region.get(b"key", None) == b"gen9"
+
+    def test_compaction_drops_tombstones(self):
+        region = make_region()
+        region.put(b"a", b"1")
+        region.flush()
+        region.put(b"a", None)
+        region.flush()
+        region.compact()
+        assert region.get(b"a", None) is None
+        assert list(region.scan(b"", b"\xff", None)) == []
+        assert len(region.sstables) == 1
+
+    def test_scan_merges_memstore_over_sstables(self):
+        region = make_region()
+        region.put(b"a", b"old")
+        region.flush()
+        region.put(b"a", b"new")       # memstore shadows the run
+        region.put(b"b", b"only-mem")
+        got = dict(region.scan(b"", b"\xff", None))
+        assert got == {b"a": b"new", b"b": b"only-mem"}
+
+    def test_scan_respects_region_bounds(self):
+        region = make_region(start_key=b"c", end_key=b"f")
+        for key in (b"c", b"d", b"e"):
+            region.put(key, key)
+        got = [k for k, _v in region.scan(b"", b"\xff", None)]
+        assert got == [b"c", b"d", b"e"]
+
+    def test_all_entries_for_split(self):
+        region = make_region()
+        region.put(b"a", b"1")
+        region.flush()
+        region.put(b"b", b"2")
+        region.put(b"a", None)  # deleted
+        assert region.all_entries() == [(b"b", b"2")]
+
+
+class TestPredecessor:
+    def test_simple(self):
+        assert _predecessor(b"b") < b"b"
+        assert _predecessor(b"b") > b"a\xf0"
+
+    def test_zero_byte(self):
+        assert _predecessor(b"a\x00") == b"a"
+
+    def test_empty(self):
+        assert _predecessor(b"") == b""
+
+    def test_ordering_property(self):
+        for key in (b"abc", b"a\x00b", b"\x01", b"zz\xff"):
+            predecessor = _predecessor(key)
+            assert predecessor < key

@@ -1,0 +1,180 @@
+"""Region/table/store behaviour: routing, splits, merge semantics."""
+
+import pytest
+
+from repro.errors import TableExistsError, TableNotFoundError
+from repro.kvstore import KVStore, ScanSpec
+
+
+def small_store(**kwargs):
+    defaults = dict(num_servers=3, flush_bytes=4 * 1024,
+                    split_bytes=32 * 1024, block_bytes=1024)
+    defaults.update(kwargs)
+    return KVStore(**defaults)
+
+
+class TestTableManagement:
+    def test_create_get_drop(self):
+        store = small_store()
+        store.create_table("t")
+        assert store.has_table("t")
+        store.drop_table("t")
+        assert not store.has_table("t")
+
+    def test_duplicate_create_raises(self):
+        store = small_store()
+        store.create_table("t")
+        with pytest.raises(TableExistsError):
+            store.create_table("t")
+
+    def test_missing_table_raises(self):
+        store = small_store()
+        with pytest.raises(TableNotFoundError):
+            store.table("nope")
+        with pytest.raises(TableNotFoundError):
+            store.drop_table("nope")
+
+    def test_table_names_sorted(self):
+        store = small_store()
+        for name in ("zeta", "alpha", "mid"):
+            store.create_table(name)
+        assert store.table_names() == ["alpha", "mid", "zeta"]
+
+
+class TestReadWrite:
+    def test_put_get_delete(self):
+        table = small_store().create_table("t")
+        table.put(b"k1", b"v1")
+        assert table.get(b"k1") == b"v1"
+        table.delete(b"k1")
+        assert table.get(b"k1") is None
+
+    def test_overwrite(self):
+        table = small_store().create_table("t")
+        table.put(b"k", b"old")
+        table.put(b"k", b"new")
+        assert table.get(b"k") == b"new"
+
+    def test_scan_is_sorted_and_inclusive(self):
+        table = small_store().create_table("t")
+        import random
+        keys = [f"{i:04d}".encode() for i in range(200)]
+        shuffled = keys[:]
+        random.Random(5).shuffle(shuffled)
+        for key in shuffled:
+            table.put(key, key)
+        got = [k for k, _ in table.scan(ScanSpec(b"0050", b"0059"))]
+        assert got == keys[50:60]
+
+    def test_scan_limit(self):
+        table = small_store().create_table("t")
+        for i in range(50):
+            table.put(f"{i:03d}".encode(), b"v")
+        got = list(table.scan(ScanSpec(b"", b"\xff", limit=7)))
+        assert len(got) == 7
+
+    def test_deleted_keys_not_scanned(self):
+        table = small_store().create_table("t")
+        for i in range(20):
+            table.put(f"{i:03d}".encode(), b"v")
+        table.delete(b"010")
+        table.flush()
+        keys = [k for k, _ in table.scan(ScanSpec.full())]
+        assert b"010" not in keys
+        assert len(keys) == 19
+
+    def test_delete_survives_flush_ordering(self):
+        # Value flushed to an SSTable, tombstone in the memstore.
+        table = small_store().create_table("t")
+        table.put(b"k", b"v")
+        table.flush()
+        table.delete(b"k")
+        assert table.get(b"k") is None
+        assert [k for k, _ in table.scan(ScanSpec.full())] == []
+
+    def test_update_across_runs_newest_wins(self):
+        table = small_store().create_table("t")
+        table.put(b"k", b"one")
+        table.flush()
+        table.put(b"k", b"two")
+        table.flush()
+        assert table.get(b"k") == b"two"
+        values = [v for _, v in table.scan(ScanSpec.full())]
+        assert values == [b"two"]
+
+
+class TestRegionSplitting:
+    def test_split_occurs_under_load(self):
+        table = small_store().create_table("t")
+        payload = b"x" * 200
+        for i in range(2000):
+            table.put(f"{i:06d}".encode(), payload)
+        assert table.num_regions > 1
+
+    def test_data_survives_splits(self):
+        table = small_store().create_table("t")
+        payload = b"x" * 200
+        for i in range(2000):
+            table.put(f"{i:06d}".encode(), payload)
+        assert table.get(b"000000") == payload
+        assert table.get(b"001999") == payload
+        keys = [k for k, _ in table.scan(ScanSpec.full())]
+        assert len(keys) == 2000
+        assert keys == sorted(keys)
+
+    def test_regions_spread_over_servers(self):
+        store = small_store()
+        table = store.create_table("t")
+        payload = b"x" * 200
+        for i in range(4000):
+            table.put(f"{i:06d}".encode(), payload)
+        assert len(table.servers_used()) > 1
+
+    def test_compaction_reclaims_tombstones(self):
+        table = small_store().create_table("t")
+        for i in range(100):
+            table.put(f"{i:03d}".encode(), b"v" * 50)
+        table.flush()
+        for i in range(100):
+            table.delete(f"{i:03d}".encode())
+        table.flush()
+        table.compact()
+        assert table.count() == 0
+        assert table.disk_bytes == 0
+
+
+class TestIOAccounting:
+    def test_scan_records_result_bytes(self):
+        store = small_store()
+        table = store.create_table("t")
+        table.put(b"abc", b"12345")
+        before = store.stats.snapshot()
+        list(table.scan(ScanSpec.full()))
+        delta = store.stats.snapshot().delta(before)
+        assert delta.result_bytes == len(b"abc") + len(b"12345")
+        assert delta.scans_started == 1
+
+    def test_flush_charges_disk_write(self):
+        store = small_store()
+        table = store.create_table("t")
+        table.put(b"k", b"v" * 100)
+        before = store.stats.disk_bytes_written
+        table.flush()
+        assert store.stats.disk_bytes_written > before
+
+    def test_cache_cleared_between_queries(self):
+        store = small_store()
+        table = store.create_table("t")
+        for i in range(500):
+            table.put(f"{i:04d}".encode(), b"v" * 100)
+        table.flush()
+        list(table.scan(ScanSpec(b"0000", b"0100")))
+        base = store.stats.disk_bytes_read
+        list(table.scan(ScanSpec(b"0000", b"0100")))  # cache hit
+        cached_delta = store.stats.disk_bytes_read - base
+        store.clear_caches()
+        base = store.stats.disk_bytes_read
+        list(table.scan(ScanSpec(b"0000", b"0100")))  # cold again
+        cold_delta = store.stats.disk_bytes_read - base
+        assert cached_delta == 0
+        assert cold_delta > 0

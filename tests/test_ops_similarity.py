@@ -1,0 +1,162 @@
+"""Trajectory similarity measures and k-similar search."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import JustEngine
+from repro.errors import ExecutionError
+from repro.ops.analysis.similarity import (
+    envelope_lower_bound,
+    frechet_distance,
+    hausdorff_distance,
+    k_similar_trajectories,
+)
+from repro.trajectory import STSeries, Trajectory
+
+
+def line_traj(tid, y, n=10, reverse=False, x0=116.0):
+    xs = range(n)
+    if reverse:
+        xs = reversed(list(xs))
+    points = [(x0 + x * 0.01, y, i * 10.0)
+              for i, x in enumerate(xs)]
+    return Trajectory(tid, "o", STSeries(points))
+
+
+class TestHausdorff:
+    def test_identical_is_zero(self):
+        a = line_traj("a", 39.9)
+        assert hausdorff_distance(a, a) == 0.0
+
+    def test_parallel_lines(self):
+        a = line_traj("a", 39.9)
+        b = line_traj("b", 39.95)
+        assert hausdorff_distance(a, b) == pytest.approx(0.05)
+
+    def test_symmetry(self):
+        a = line_traj("a", 39.9, n=5)
+        b = line_traj("b", 39.93, n=12)
+        assert hausdorff_distance(a, b) == \
+            pytest.approx(hausdorff_distance(b, a))
+
+    def test_order_insensitive(self):
+        a = line_traj("a", 39.9)
+        b = line_traj("b", 39.9, reverse=True)
+        assert hausdorff_distance(a, b) == 0.0
+
+
+class TestFrechet:
+    def test_identical_is_zero(self):
+        a = line_traj("a", 39.9)
+        assert frechet_distance(a, a) == 0.0
+
+    def test_parallel_lines(self):
+        a = line_traj("a", 39.9)
+        b = line_traj("b", 39.95)
+        assert frechet_distance(a, b) == pytest.approx(0.05)
+
+    def test_order_sensitive(self):
+        """Fréchet punishes reversed traversal; Hausdorff does not."""
+        a = line_traj("a", 39.9)
+        b = line_traj("b", 39.9, reverse=True)
+        assert hausdorff_distance(a, b) == 0.0
+        # The leash must span the full line at the crossover.
+        assert frechet_distance(a, b) == pytest.approx(0.09)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_frechet_upper_bounds_hausdorff(self, seed):
+        rng = random.Random(seed)
+
+        def random_traj(tid):
+            points = []
+            x, y = 116.0 + rng.random() * 0.1, 39.9 + rng.random() * 0.1
+            for i in range(rng.randint(2, 15)):
+                x += rng.uniform(-0.01, 0.01)
+                y += rng.uniform(-0.01, 0.01)
+                points.append((x, y, i * 10.0))
+            return Trajectory(tid, "o", STSeries(points))
+
+        a, b = random_traj("a"), random_traj("b")
+        assert frechet_distance(a, b) >= \
+            hausdorff_distance(a, b) - 1e-12
+
+
+class TestLowerBound:
+    def test_disjoint_mbrs(self):
+        a = line_traj("a", 39.9)
+        b = line_traj("b", 39.9, x0=117.0)
+        bound = envelope_lower_bound(a, b)
+        assert bound > 0.0
+        assert bound <= hausdorff_distance(a, b) + 1e-12
+        assert bound <= frechet_distance(a, b) + 1e-12
+
+    def test_overlapping_mbrs_bound_zero(self):
+        a = Trajectory("a", "o", STSeries(
+            [(116.0, 39.9, 0.0), (116.1, 40.0, 10.0)]))
+        b = Trajectory("b", "o", STSeries(
+            [(116.05, 39.95, 0.0), (116.15, 40.05, 10.0)]))
+        assert envelope_lower_bound(a, b) == 0.0
+
+
+class TestKSimilarSearch:
+    @pytest.fixture
+    def fleet(self):
+        engine = JustEngine()
+        table = engine.create_plugin_table("fleet", "trajectory")
+        trajs = [line_traj(f"t{i}", 39.9 + i * 0.01) for i in range(12)]
+        # A far-away cluster that must be pruned.
+        trajs += [line_traj(f"far{i}", 41.0 + i * 0.01, x0=118.0)
+                  for i in range(5)]
+        table.insert_trajectories(trajs)
+        return table
+
+    def test_finds_nearest_lines(self, fleet):
+        query = line_traj("q", 39.9)
+        results = k_similar_trajectories(fleet, query, 3,
+                                         search_margin_deg=0.2)
+        tids = [row["tid"] for row, _d in results]
+        assert tids == ["t0", "t1", "t2"]
+        distances = [d for _r, d in results]
+        assert distances == sorted(distances)
+        assert distances[0] == pytest.approx(0.0)
+
+    def test_excludes_query_itself(self, fleet):
+        stored = fleet.get("t5")["item"]
+        results = k_similar_trajectories(fleet, stored, 2,
+                                         search_margin_deg=0.2)
+        assert all(row["tid"] != "t5" for row, _d in results)
+
+    def test_frechet_measure(self, fleet):
+        query = line_traj("q", 39.9)
+        results = k_similar_trajectories(fleet, query, 2,
+                                         measure="frechet",
+                                         search_margin_deg=0.2)
+        assert [row["tid"] for row, _d in results] == ["t0", "t1"]
+
+    def test_unknown_measure(self, fleet):
+        with pytest.raises(ExecutionError):
+            k_similar_trajectories(fleet, line_traj("q", 39.9), 2,
+                                   measure="cosine")
+
+    def test_invalid_k(self, fleet):
+        with pytest.raises(ExecutionError):
+            k_similar_trajectories(fleet, line_traj("q", 39.9), 0)
+
+    def test_matches_brute_force(self, fleet):
+        # 39.932 keeps all candidate distances distinct (no ties).
+        query = line_traj("q", 39.932)
+        results = k_similar_trajectories(fleet, query, 5,
+                                         search_margin_deg=2.0)
+        rows = fleet.full_scan()
+        brute = sorted(
+            ((row, hausdorff_distance(query, row["item"]))
+             for row in rows),
+            key=lambda pair: pair[1])[:5]
+        assert [r["tid"] for r, _d in results] == \
+            [r["tid"] for r, _d in brute]
+        assert [d for _r, d in results] == \
+            pytest.approx([d for _r, d in brute])

@@ -1,0 +1,135 @@
+"""Road network graph, map matching, and map recovery."""
+
+import random
+
+import pytest
+
+from repro.geometry.distance import METERS_PER_DEGREE
+from repro.ops import MapMatcher, map_match
+from repro.roadnetwork import RoadNetwork, recover_map
+from repro.roadnetwork.recovery import classify_mode
+from repro.trajectory import STSeries, Trajectory
+
+
+@pytest.fixture(scope="module")
+def grid_net():
+    return RoadNetwork.grid(116.0, 39.8, 5, 5, spacing_m=400)
+
+
+class TestRoadNetwork:
+    def test_grid_shape(self, grid_net):
+        assert grid_net.num_nodes == 25
+        # 2 directions * (20 horizontal + 20 vertical)
+        assert grid_net.num_segments == 80
+
+    def test_candidates_near_segment(self, grid_net):
+        step = 400 / METERS_PER_DEGREE
+        # Slightly north of the first horizontal segment's midpoint.
+        found = grid_net.candidates(116.0 + step / 2, 39.8 + 1e-5,
+                                    radius_m=30)
+        assert found
+        assert found[0].segment.segment_id.split(":")[0] == "h0_0"
+        assert found[0].distance_m < 5.0
+
+    def test_candidates_empty_far_away(self, grid_net):
+        assert grid_net.candidates(120.0, 45.0, radius_m=50) == []
+
+    def test_route_length(self, grid_net):
+        # Two grid steps apart: 800 m along the grid.
+        d = grid_net.route_length_m("n0_0", "n0_2")
+        assert d == pytest.approx(800.0, rel=0.01)
+        assert grid_net.route_length_m("n0_0", "n0_0") == 0.0
+
+    def test_route_unreachable(self):
+        net = RoadNetwork()
+        net.add_node("a", 0.0, 0.0)
+        net.add_node("b", 1.0, 1.0)
+        assert net.route_length_m("a", "b") == float("inf")
+
+    def test_segment_lookup(self, grid_net):
+        segment = grid_net.segment("h0_0")
+        assert segment.length_m == pytest.approx(400.0, rel=0.01)
+        with pytest.raises(Exception):
+            grid_net.segment("nope")
+
+
+class TestMapMatching:
+    def path_along_row(self, grid_net, noise=0.00003, seed=9):
+        rng = random.Random(seed)
+        step = 400 / METERS_PER_DEGREE
+        points = []
+        for i in range(12):
+            lng = 116.0 + i * step / 3 + rng.gauss(0, noise)
+            lat = 39.8 + rng.gauss(0, noise)
+            points.append((lng, lat, 1000.0 + i * 30.0))
+        return Trajectory("t", "o", STSeries(points))
+
+    def test_matches_row_segments(self, grid_net):
+        matched = map_match(self.path_along_row(grid_net), grid_net)
+        assert len(matched) == 12
+        row_segments = {f"h0_{c}" for c in range(4)} | \
+                       {f"h0_{c}:rev" for c in range(4)}
+        on_row = [m for m in matched if m.segment_id in row_segments]
+        assert len(on_row) >= 9  # intersections may snap to verticals
+
+    def test_matched_points_are_close(self, grid_net):
+        matched = map_match(self.path_along_row(grid_net), grid_net)
+        assert all(m.distance_m < 50.0 for m in matched)
+
+    def test_no_candidates_yields_empty(self, grid_net):
+        far = Trajectory("t", "o", STSeries([(130.0, 50.0, 0.0),
+                                             (130.1, 50.0, 60.0)]))
+        assert map_match(far, grid_net) == []
+
+    def test_matcher_reuse(self, grid_net):
+        matcher = MapMatcher(grid_net)
+        t = self.path_along_row(grid_net)
+        assert len(matcher.match(t)) == len(matcher.match(t))
+
+    def test_unmatchable_samples_skipped(self, grid_net):
+        points = [(116.0, 39.8, 0.0),
+                  (130.0, 50.0, 30.0),    # far off the map
+                  (116.004, 39.8, 60.0)]
+        matched = map_match(Trajectory("t", "o", STSeries(points)),
+                            grid_net)
+        assert len(matched) == 2
+
+
+class TestRecovery:
+    def test_mode_thresholds(self):
+        assert classify_mode(1.0) == "walking"
+        assert classify_mode(5.0) == "riding"
+        assert classify_mode(15.0) == "driving"
+
+    def test_recovers_straight_road(self):
+        rng = random.Random(2)
+        trajs = []
+        for i in range(6):
+            points = [(116.0 + j * 0.0004 + rng.gauss(0, 3e-5),
+                       39.9 + rng.gauss(0, 3e-5),
+                       j * 20.0) for j in range(40)]
+            trajs.append(Trajectory(f"t{i}", f"o{i}", STSeries(points)))
+        network, segments = recover_map(trajs, cell_m=60, min_support=4)
+        assert len(segments) >= 10
+        # The recovered road should span roughly the travelled extent.
+        lngs = [s.start[0] for s in segments] + [s.end[0]
+                                                 for s in segments]
+        assert max(lngs) - min(lngs) > 0.01
+
+    def test_single_trajectory_insufficient_support(self):
+        points = [(116.0 + j * 0.0004, 39.9, j * 20.0) for j in range(40)]
+        _, segments = recover_map(
+            [Trajectory("t", "o", STSeries(points))],
+            cell_m=60, min_support=3)
+        assert segments == []
+
+    def test_speed_classifies_mode(self):
+        # Walking-speed track (~1.2 m/s).
+        trajs = []
+        for i in range(4):
+            points = [(116.0 + j * 1e-5, 39.9, j * 1.0)
+                      for j in range(200)]
+            trajs.append(Trajectory(f"w{i}", f"o{i}", STSeries(points)))
+        _, segments = recover_map(trajs, cell_m=40, min_support=3)
+        assert segments
+        assert all(s.mode == "walking" for s in segments)

@@ -1,0 +1,128 @@
+"""Expression evaluation semantics (three-valued logic, functions)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.geometry import Envelope, Point
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    FuncCall,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.expressions import (
+    eval_expr,
+    expr_name,
+    join_conjuncts,
+    referenced_columns,
+    split_conjuncts,
+)
+
+
+def lit(v):
+    return Literal(v)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert eval_expr(BinaryOp("+", lit(2), lit(3)), {}) == 5
+        assert eval_expr(BinaryOp("*", lit(52), lit(9)), {}) == 468
+        assert eval_expr(BinaryOp("/", lit(7), lit(2)), {}) == 3.5
+        assert eval_expr(BinaryOp("%", lit(7), lit(2)), {}) == 1
+
+    def test_divide_by_zero_is_null(self):
+        assert eval_expr(BinaryOp("/", lit(1), lit(0)), {}) is None
+
+    def test_unary_minus(self):
+        assert eval_expr(UnaryOp("-", lit(5)), {}) == -5
+
+
+class TestNullSemantics:
+    def test_null_propagates_through_comparison(self):
+        assert eval_expr(BinaryOp("=", lit(None), lit(1)), {}) is None
+        assert eval_expr(BinaryOp("<", Column("x"), lit(1)),
+                         {"x": None}) is None
+
+    def test_and_or_three_valued(self):
+        null = lit(None)
+        true, false = lit(True), lit(False)
+        assert eval_expr(BinaryOp("and", null, false), {}) is False
+        assert eval_expr(BinaryOp("and", null, true), {}) is None
+        assert eval_expr(BinaryOp("or", null, true), {}) is True
+        assert eval_expr(BinaryOp("or", null, false), {}) is None
+
+    def test_is_null(self):
+        assert eval_expr(IsNull(lit(None), negated=False), {}) is True
+        assert eval_expr(IsNull(lit(1), negated=True), {}) is True
+
+    def test_between_with_null(self):
+        assert eval_expr(Between(lit(None), lit(1), lit(2)), {}) is None
+
+
+class TestFunctions:
+    def test_st_makembr(self):
+        env = eval_expr(FuncCall("st_makembr",
+                                 (lit(1), lit(2), lit(3), lit(4))), {})
+        assert env == Envelope(1, 2, 3, 4)
+
+    def test_within_operator(self):
+        expr = BinaryOp("within", Column("geom"),
+                        lit(Envelope(0, 0, 10, 10)))
+        assert eval_expr(expr, {"geom": Point(5, 5)}) is True
+        assert eval_expr(expr, {"geom": Point(50, 5)}) is False
+
+    def test_like(self):
+        expr = BinaryOp("like", Column("name"), lit("poi1%"))
+        assert eval_expr(expr, {"name": "poi12"}) is True
+        assert eval_expr(expr, {"name": "xpoi12"}) is False
+        under = BinaryOp("like", Column("name"), lit("a_c"))
+        assert eval_expr(under, {"name": "abc"}) is True
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            eval_expr(FuncCall("no_such_fn", ()), {})
+
+    def test_knn_as_scalar_rejected(self):
+        with pytest.raises(ExecutionError):
+            eval_expr(FuncCall("st_knn", (lit(1), lit(2))), {})
+
+    def test_unknown_column(self):
+        with pytest.raises(ExecutionError):
+            eval_expr(Column("ghost"), {"x": 1})
+
+    def test_generic_scalars(self):
+        assert eval_expr(FuncCall("upper", (lit("abc"),)), {}) == "ABC"
+        assert eval_expr(FuncCall("coalesce",
+                                  (lit(None), lit(7))), {}) == 7
+        assert eval_expr(FuncCall("concat",
+                                  (lit("a"), lit(1))), {}) == "a1"
+
+
+class TestStructuralHelpers:
+    def test_referenced_columns(self):
+        expr = BinaryOp("and",
+                        BinaryOp("=", Column("a"), lit(1)),
+                        Between(Column("b"), Column("c"), lit(9)))
+        assert referenced_columns(expr) == {"a", "b", "c"}
+
+    def test_split_and_join_conjuncts(self):
+        expr = BinaryOp("and",
+                        BinaryOp("and", lit(True), lit(False)),
+                        lit(None))
+        parts = split_conjuncts(expr)
+        assert len(parts) == 3
+        rebuilt = join_conjuncts(parts)
+        assert split_conjuncts(rebuilt) == parts
+        assert join_conjuncts([]) is None
+        assert split_conjuncts(None) == []
+
+    def test_expr_name(self):
+        assert expr_name(Column("x"), 0) == "x"
+        assert expr_name(FuncCall("count", (Column("x"),)), 0) == \
+            "count_x"
+        from repro.sql.ast import Star
+        assert expr_name(FuncCall("count", (Star(),)), 0) == "count"
+        assert expr_name(BinaryOp("+", lit(1), lit(2)), 3) == "_col3"

@@ -1,0 +1,94 @@
+"""The st_* function registry."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.geometry import Envelope, LineString, Point
+from repro.sql.functions import (
+    AGGREGATE_FUNCTIONS,
+    NM_FUNCTIONS,
+    SCALAR_FUNCTIONS,
+    SET_FUNCTIONS,
+    lookup_scalar,
+    make_map_matching_function,
+)
+from repro.trajectory import STSeries, Trajectory
+
+
+class TestScalars:
+    def test_st_makembr(self):
+        assert SCALAR_FUNCTIONS["st_makembr"](1, 2, 3, 4) == \
+            Envelope(1, 2, 3, 4)
+
+    def test_st_makepoint_and_accessors(self):
+        point = SCALAR_FUNCTIONS["st_makepoint"](116.3, 39.9)
+        assert SCALAR_FUNCTIONS["st_x"](point) == 116.3
+        assert SCALAR_FUNCTIONS["st_y"](point) == 39.9
+        assert SCALAR_FUNCTIONS["st_x"](None) is None
+
+    def test_st_within_semantics(self):
+        env = Envelope(0, 0, 10, 10)
+        within = SCALAR_FUNCTIONS["st_within"]
+        assert within(Point(5, 5), env)
+        assert not within(Point(11, 5), env)
+        inside_line = LineString([(1, 1), (2, 2)])
+        crossing_line = LineString([(5, 5), (15, 15)])
+        assert within(inside_line, env)
+        assert not within(crossing_line, env)  # WITHIN = containment
+        assert SCALAR_FUNCTIONS["st_intersects"](crossing_line, env)
+
+    def test_st_within_requires_mbr(self):
+        with pytest.raises(ExecutionError):
+            SCALAR_FUNCTIONS["st_within"](Point(0, 0), "not an mbr")
+
+    def test_distances(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert SCALAR_FUNCTIONS["st_distance"](a, b) == 5.0
+        assert SCALAR_FUNCTIONS["st_distance_m"](a, b) > 500_000
+
+    def test_coordinate_pairs_accepted(self):
+        assert SCALAR_FUNCTIONS["st_distance"](Point(0, 0),
+                                               Point(3, 4)) == 5.0
+
+    def test_wkt_roundtrip_functions(self):
+        text = SCALAR_FUNCTIONS["st_astext"](Point(1, 2))
+        assert SCALAR_FUNCTIONS["st_geomfromtext"](text) == Point(1, 2)
+
+    def test_trajectory_scalars(self):
+        trajectory = Trajectory("t", "o", STSeries(
+            [(116.0, 39.9, 0.0), (116.001, 39.9, 60.0)]))
+        assert SCALAR_FUNCTIONS["st_trajduration_s"](trajectory) == 60.0
+        assert SCALAR_FUNCTIONS["st_trajlength_m"](trajectory) > 50.0
+
+    def test_transform_functions_present(self):
+        for name in ("st_wgs84togcj02", "st_gcj02towgs84",
+                     "st_gcj02tobd09", "st_bd09togcj02"):
+            point = SCALAR_FUNCTIONS[name](116.4, 39.9)
+            assert isinstance(point, Point)
+
+
+class TestRegistryShape:
+    def test_set_functions(self):
+        assert "st_trajsegmentation" in SET_FUNCTIONS
+        assert "st_trajstaypoint" in SET_FUNCTIONS
+
+    def test_nm_functions(self):
+        assert "st_dbscan" in NM_FUNCTIONS
+
+    def test_aggregates(self):
+        assert set(AGGREGATE_FUNCTIONS) == {
+            "count", "sum", "avg", "min", "max", "collect_list"}
+
+    def test_lookup_errors(self):
+        with pytest.raises(ExecutionError):
+            lookup_scalar("st_knn")       # planner-only
+        with pytest.raises(ExecutionError):
+            lookup_scalar("nonsense")
+
+    def test_map_matching_binding(self):
+        from repro.roadnetwork import RoadNetwork
+        network = RoadNetwork.grid(116.0, 39.8, 3, 3, 400)
+        matcher = make_map_matching_function(network)
+        trajectory = Trajectory("t", "o", STSeries(
+            [(116.0, 39.8, 0.0), (116.001, 39.8001, 30.0)]))
+        assert isinstance(matcher(trajectory), list)

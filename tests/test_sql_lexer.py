@@ -1,0 +1,63 @@
+"""JustQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("SELECT select SeLeCt") == [
+        ("keyword", "SELECT"), ("keyword", "select"),
+        ("keyword", "SeLeCt")]
+
+
+def test_identifiers():
+    assert kinds("st_makeMBR poi_2 _x") == [
+        ("ident", "st_makeMBR"), ("ident", "poi_2"), ("ident", "_x")]
+
+
+def test_numbers():
+    assert kinds("1 2.5 .5 1e3 2.5E-2") == [
+        ("number", "1"), ("number", "2.5"), ("number", ".5"),
+        ("number", "1e3"), ("number", "2.5E-2")]
+
+
+def test_strings_and_escapes():
+    assert kinds("'hello' \"world\" 'it''s'") == [
+        ("string", "hello"), ("string", "world"), ("string", "it's")]
+
+
+def test_unterminated_string():
+    with pytest.raises(ParseError):
+        tokenize("SELECT 'oops")
+
+
+def test_symbols():
+    assert [t.text for t in tokenize("<= >= != <> :: ( ) , = | *")[:-1]] \
+        == ["<=", ">=", "!=", "<>", "::", "(", ")", ",", "=", "|", "*"]
+
+
+def test_comments_skipped():
+    tokens = kinds("SELECT 1 -- trailing comment\n, 2")
+    assert tokens == [("keyword", "SELECT"), ("number", "1"),
+                      ("symbol", ","), ("number", "2")]
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError):
+        tokenize("SELECT @")
+
+
+def test_positions_recorded():
+    tokens = tokenize("SELECT a")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 7
+
+
+def test_end_token():
+    assert tokenize("x")[-1].kind == "end"

@@ -1,0 +1,111 @@
+"""Optimizer rules: folding, selection pushdown, projection pruning."""
+
+from repro.geometry import Envelope
+from repro.sql.analyzer import analyze_select
+from repro.sql.ast import BinaryOp, Column, Literal
+from repro.sql.logical import ProjectNode, ScanNode, SortNode
+from repro.sql.optimizer import fold_expr, optimize
+from repro.sql.parser import parse_statement
+
+
+def plan_for(engine, sql):
+    stmt = parse_statement(sql)
+    return optimize(analyze_select(engine, stmt))
+
+
+def find_scan(plan):
+    node = plan
+    while not isinstance(node, ScanNode):
+        node = node.children()[0]
+    return node
+
+
+class TestConstantFolding:
+    def test_arithmetic(self):
+        expr = fold_expr(BinaryOp("*", Literal(52), Literal(9)))
+        assert expr == Literal(468)
+
+    def test_st_makembr_folded(self):
+        from repro.sql.ast import FuncCall
+        call = FuncCall("st_makembr", (Literal(1.0), Literal(2.0),
+                                       Literal(3.0), Literal(4.0)))
+        folded = fold_expr(call)
+        assert isinstance(folded, Literal)
+        assert folded.value == Envelope(1, 2, 3, 4)
+
+    def test_partial_folding(self):
+        expr = fold_expr(BinaryOp("=", Column("fid"),
+                                  BinaryOp("*", Literal(52), Literal(9))))
+        assert expr == BinaryOp("=", Column("fid"), Literal(468))
+
+    def test_invalid_fold_left_intact(self):
+        # Division by zero folds to NULL rather than erroring at plan time.
+        expr = fold_expr(BinaryOp("/", Literal(1), Literal(0)))
+        assert expr == Literal(None)
+
+
+class TestPushdown:
+    def test_paper_running_example(self, poi_engine):
+        """Figure 8: filter pushed through the subquery projection to the
+        scan; projection pruned to the needed fields; sort above."""
+        plan = plan_for(poi_engine, """
+            SELECT name, geom FROM ( SELECT * FROM poi ) t
+            WHERE fid = 52*9 AND geom WITHIN st_makeMBR(100,30,130,45)
+            ORDER BY time
+        """)
+        scan = find_scan(plan)
+        assert scan.pushed_filter is not None
+        # The folded constant 468 landed in the scan predicate.
+        assert "468" in repr(scan.pushed_filter)
+        assert set(scan.pushed_projection) == {"fid", "name", "geom",
+                                               "time"}
+        # Sort sits between the pruned projection and the final one.
+        assert isinstance(plan, ProjectNode)
+        assert plan.columns == ["name", "geom"]
+        assert isinstance(plan.child, SortNode)
+
+    def test_filter_not_pushed_through_limit(self, poi_engine):
+        plan = plan_for(poi_engine, """
+            SELECT * FROM (SELECT * FROM poi LIMIT 5) t WHERE fid = 1
+        """)
+        # The inner LIMIT must execute before the filter.
+        from repro.sql.logical import FilterNode, LimitNode
+        node = plan
+        seen = []
+        while True:
+            seen.append(type(node).__name__)
+            children = node.children()
+            if not children:
+                break
+            node = children[0]
+        assert seen.index("FilterNode") < seen.index("LimitNode")
+
+    def test_projection_pruned_to_used_columns(self, poi_engine):
+        plan = plan_for(poi_engine, "SELECT name FROM poi")
+        scan = find_scan(plan)
+        assert scan.pushed_projection == ["name"]
+
+    def test_filter_columns_kept_in_scan_projection(self, poi_engine):
+        plan = plan_for(poi_engine,
+                        "SELECT name FROM poi WHERE fid > 10")
+        scan = find_scan(plan)
+        assert "fid" in scan.pushed_projection
+        assert "name" in scan.pushed_projection
+        assert "geom" not in scan.pushed_projection
+
+    def test_renamed_column_pushdown(self, poi_engine):
+        plan = plan_for(poi_engine, """
+            SELECT alias_name FROM
+              (SELECT name AS alias_name FROM poi) t
+            WHERE alias_name = 'poi1'
+        """)
+        scan = find_scan(plan)
+        # The filter was rewritten onto the underlying column name.
+        assert "name" in repr(scan.pushed_filter)
+
+    def test_pretty_renders_tree(self, poi_engine):
+        plan = plan_for(poi_engine,
+                        "SELECT name FROM poi WHERE fid = 1")
+        text = plan.pretty()
+        assert "Scan[poi]" in text
+        assert "Project" in text

@@ -1,0 +1,65 @@
+"""ResultSet cursor semantics and chunked transport."""
+
+from repro.cluster import CostModel, SimJob
+from repro.dataframe import DataFrame
+from repro.sql.result import CHUNK_FETCH_MS, ResultSet
+
+
+def job():
+    return SimJob(CostModel())
+
+
+def test_cursor_walks_all_rows():
+    rs = ResultSet.from_rows([{"a": i} for i in range(5)])
+    seen = []
+    while rs.has_next():
+        seen.append(rs.next()["a"])
+    assert seen == [0, 1, 2, 3, 4]
+    assert not rs.has_next()
+
+
+def test_next_after_exhaustion_raises():
+    rs = ResultSet.from_rows([])
+    import pytest
+    with pytest.raises(StopIteration):
+        rs.next()
+
+
+def test_iteration_protocol():
+    rs = ResultSet.from_rows([{"a": 1}, {"a": 2}])
+    assert [r["a"] for r in rs] == [1, 2]
+    assert len(rs) == 2
+
+
+def test_small_result_single_chunk():
+    df = DataFrame.from_rows([{"a": i} for i in range(10)])
+    rs = ResultSet.from_dataframe(df, job())
+    assert rs.num_chunks == 1
+
+
+def test_large_result_multi_chunk_charges_fetches():
+    df = DataFrame.from_rows([{"a": i} for i in range(25)])
+    j = job()
+    rs = ResultSet.from_dataframe(df, j, direct_rows=10, chunk_rows=10)
+    assert rs.num_chunks == 3
+    assert j.breakdown["chunk_fetch"] == CHUNK_FETCH_MS * 2
+    # Cursor is seamless across chunks (partition order, like Spark).
+    seen = []
+    while rs.has_next():
+        seen.append(rs.next()["a"])
+    assert sorted(seen) == list(range(25))
+
+
+def test_status_result():
+    rs = ResultSet.status("table created")
+    assert rs.message == "table created"
+    assert rs.rows == [{"status": "table created"}]
+
+
+def test_sim_ms_without_job():
+    assert ResultSet.from_rows([]).sim_ms == 0.0
+
+
+def test_columns_inferred():
+    rs = ResultSet.from_rows([{"x": 1, "y": 2}])
+    assert rs.columns == ["x", "y"]

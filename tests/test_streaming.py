@@ -1,0 +1,123 @@
+"""Streaming ingestion (Section IX future work #1)."""
+
+import pytest
+
+from repro import Schema
+from repro.errors import ExecutionError, TableExistsError
+from repro.streaming import StreamLoader, StreamTopic
+
+from conftest import POI_SCHEMA_FIELDS, T0
+
+
+def order_event(i, t_offset=0.0):
+    return {"oid": str(i), "lng": 116.0 + (i % 50) * 0.01, "lat": 39.9,
+            "ts": int((T0 + t_offset + i) * 1000)}
+
+
+CONFIG = {
+    "fid": "to_int(oid)",
+    "name": "oid",
+    "time": "long_to_date_ms(ts)",
+    "geom": "lng_lat_to_point(lng, lat)",
+}
+
+
+class TestStreamTopic:
+    def test_append_and_read(self):
+        topic = StreamTopic("t")
+        assert topic.append({"a": 1}) == 0
+        assert topic.append({"a": 2}) == 1
+        assert topic.read(0, 10) == [{"a": 1}, {"a": 2}]
+        assert topic.read(1, 1) == [{"a": 2}]
+        assert topic.end_offset == 2
+
+    def test_events_are_copied(self):
+        topic = StreamTopic("t")
+        event = {"a": 1}
+        topic.append(event)
+        event["a"] = 99
+        assert topic.read(0, 1) == [{"a": 1}]
+
+    def test_negative_offset(self):
+        with pytest.raises(ExecutionError):
+            StreamTopic("t").read(-1, 5)
+
+
+class TestStreamLoader:
+    def setup_engine(self, engine):
+        engine.create_table("poi", Schema(list(POI_SCHEMA_FIELDS)))
+        topic = engine.create_topic("gps")
+        return topic
+
+    def test_micro_batches(self, engine):
+        topic = self.setup_engine(engine)
+        topic.append_many(order_event(i) for i in range(25))
+        loader = engine.stream_load("gps", "poi", CONFIG, batch_size=10)
+        assert loader.lag == 25
+        stats = loader.poll()
+        assert stats == pytest.approx(
+            {"consumed": 10, "loaded": 10, "dropped": 0,
+             "sim_ms": stats["sim_ms"]})
+        assert loader.lag == 15
+        totals = loader.drain()
+        assert totals["loaded"] == 15
+        assert engine.table("poi").row_count == 25
+
+    def test_loaded_rows_are_queryable(self, engine):
+        from repro.geometry import Envelope
+        topic = self.setup_engine(engine)
+        topic.append(order_event(3))
+        engine.stream_load("gps", "poi", CONFIG).drain()
+        rows = engine.st_range_query(
+            "poi", Envelope(115.9, 39.8, 116.6, 40.0),
+            T0, T0 + 100).rows
+        assert len(rows) == 1
+
+    def test_filter_drops_events(self, engine):
+        topic = self.setup_engine(engine)
+        topic.append_many(order_event(i) for i in range(10))
+        loader = engine.stream_load(
+            "gps", "poi", CONFIG,
+            row_filter=lambda e: int(e["oid"]) % 2 == 0)
+        totals = loader.drain()
+        assert totals["loaded"] == 5 and totals["dropped"] == 5
+        assert loader.total_dropped == 5
+
+    def test_independent_consumers(self, engine):
+        topic = self.setup_engine(engine)
+        engine.create_table("poi2", Schema(list(POI_SCHEMA_FIELDS)))
+        topic.append_many(order_event(i) for i in range(6))
+        a = engine.stream_load("gps", "poi", CONFIG)
+        b = engine.stream_load("gps", "poi2", CONFIG)
+        a.drain()
+        assert b.lag == 6  # b's offset is untouched
+        b.drain()
+        assert engine.table("poi2").row_count == 6
+
+    def test_resume_after_new_events(self, engine):
+        topic = self.setup_engine(engine)
+        loader = engine.stream_load("gps", "poi", CONFIG)
+        topic.append(order_event(1))
+        loader.drain()
+        topic.append(order_event(2))
+        assert loader.lag == 1
+        loader.drain()
+        assert engine.table("poi").row_count == 2
+
+    def test_streaming_historical_events_accepted(self, engine):
+        """Unlike ST-Hadoop, late events for old periods just work."""
+        topic = self.setup_engine(engine)
+        topic.append(order_event(1, t_offset=-86400.0 * 365))
+        engine.stream_load("gps", "poi", CONFIG).drain()
+        assert engine.table("poi").row_count == 1
+
+    def test_duplicate_topic_rejected(self, engine):
+        engine.create_topic("gps")
+        with pytest.raises(TableExistsError):
+            engine.create_topic("gps")
+
+    def test_loader_validates_table(self, engine):
+        engine.create_topic("gps")
+        from repro.errors import TableNotFoundError
+        with pytest.raises(TableNotFoundError):
+            engine.stream_load("gps", "missing", CONFIG)

@@ -1,0 +1,86 @@
+"""Trajectory value objects."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.trajectory import GPSPoint, STSeries, Trajectory, TSeries
+
+
+class TestGPSPoint:
+    def test_distance_and_speed(self):
+        a = GPSPoint(116.0, 39.9, 0.0)
+        b = GPSPoint(116.001, 39.9, 10.0)
+        assert a.distance_m(b) == pytest.approx(85.4, rel=0.05)
+        assert a.speed_to_mps(b) == pytest.approx(a.distance_m(b) / 10.0)
+
+    def test_zero_dt_speed(self):
+        a = GPSPoint(116.0, 39.9, 0.0)
+        assert a.speed_to_mps(GPSPoint(116.0, 39.9, 0.0)) == 0.0
+        assert a.speed_to_mps(GPSPoint(116.1, 39.9, 0.0)) == float("inf")
+
+
+class TestSTSeries:
+    def test_time_monotonicity_enforced(self):
+        with pytest.raises(SchemaError):
+            STSeries([(0, 0, 10.0), (0, 0, 5.0)])
+
+    def test_envelope_and_extent(self):
+        series = STSeries([(116.0, 39.9, 0.0), (116.2, 39.8, 60.0)])
+        assert series.envelope.as_tuple() == (116.0, 39.8, 116.2, 39.9)
+        assert series.time_extent == (0.0, 60.0)
+
+    def test_empty_series_has_no_envelope(self):
+        with pytest.raises(SchemaError):
+            STSeries([]).envelope
+
+    def test_as_linestring(self):
+        series = STSeries([(0, 0, 0.0), (1, 1, 1.0)])
+        assert len(series.as_linestring()) == 2
+        with pytest.raises(SchemaError):
+            STSeries([(0, 0, 0.0)]).as_linestring()
+
+    def test_length_m(self):
+        series = STSeries([(116.0, 39.9, 0.0), (116.001, 39.9, 10.0),
+                           (116.002, 39.9, 20.0)])
+        assert series.length_m() == pytest.approx(170.8, rel=0.05)
+
+    def test_accepts_gpspoints_and_tuples(self):
+        assert STSeries([GPSPoint(0, 0, 1.0)]) == STSeries([(0, 0, 1.0)])
+
+
+class TestTSeries:
+    def test_ordering_enforced(self):
+        with pytest.raises(SchemaError):
+            TSeries([(2.0, 1.0), (1.0, 2.0)])
+
+    def test_equality(self):
+        assert TSeries([(1.0, 2.0)]) == TSeries([(1, 2)])
+
+
+class TestTrajectory:
+    def make(self):
+        return Trajectory("t1", "o1", STSeries(
+            [(116.0 + i * 0.001, 39.9, i * 30.0) for i in range(10)]))
+
+    def test_accessors(self):
+        t = self.make()
+        assert t.start_time == 0.0 and t.end_time == 270.0
+        assert t.duration_s() == 270.0
+        assert t.start_point.lng == 116.0
+        assert t.end_point.lng == pytest.approx(116.009)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Trajectory("t", "o", STSeries([]))
+
+    def test_series_coercion(self):
+        t = Trajectory("t", "o", [(0, 0, 1.0), (1, 1, 2.0)])
+        assert isinstance(t.series, STSeries)
+
+    def test_subtrajectory(self):
+        t = self.make()
+        sub = t.subtrajectory(2, 5)
+        assert len(sub.points) == 3
+        assert sub.tid.startswith("t1#")
+        assert sub.oid == "o1"
+        assert sub.start_time == 60.0
