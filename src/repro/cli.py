@@ -10,6 +10,10 @@ Interactive::
     python -m repro
     justql> SHOW TABLES;
 
+Fault-tolerance demo (crash a region server, measure recovery)::
+
+    python -m repro faults --policy sync --kill-after 2000
+
 The shell keeps one engine (and one user session) for its lifetime, prints
 result sets as aligned tables, and reports each query's simulated
 latency.  ``--user`` picks the namespace; multiple shells could share an
@@ -144,6 +148,10 @@ class Shell:
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "faults":
+        from repro.faults.demo import main as faults_main
+        return faults_main(argv[1:], out=out)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="JustQL shell for the JUST reproduction engine.")

@@ -39,6 +39,11 @@ class CostModel:
     cpu_us_per_record: float = 2.0
     #: Per-record CPU cost of building an in-memory index entry.
     index_build_us_per_record: float = 6.0
+    #: Latency of one WAL fsync (group commit pays this once per batch).
+    fsync_ms: float = 4.0
+    #: Fixed cost of reopening one region on its failover target
+    #: (ZooKeeper reassignment + store-file handle open).
+    region_reopen_ms: float = 50.0
     #: Per-cell cost of an HBase put (RPC + WAL append + memstore insert);
     #: this is why JUST indexes Order slower than the Spark systems cache
     #: it (Figure 10c) — ingest writes through to the store.
@@ -125,6 +130,12 @@ class SimJob:
         self._add("network",
                   self.model.network_ms(delta.result_bytes)
                   / max(1, self.num_servers))
+
+    def charge_wal(self, delta: IOSnapshot) -> None:
+        """Charge write-ahead-log traffic: sequential appends + fsyncs."""
+        self._add("wal_write",
+                  self.model.disk_write_ms(delta.wal_bytes_written))
+        self._add("wal_sync", delta.wal_syncs * self.model.fsync_ms)
 
     def charge_disk_write(self, nbytes: int, parallel: bool = True) -> None:
         servers = self.num_servers if parallel else 1

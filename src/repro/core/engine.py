@@ -78,10 +78,16 @@ class JustEngine:
                  cost_based_planner: bool = False,
                  adaptive_execution: bool = False,
                  oltp_threshold_bytes: int = 64 * 1024,
-                 local_overhead_ms: float = 5.0):
+                 local_overhead_ms: float = 5.0,
+                 wal_policy=None):
         store_kwargs = {"cache_bytes_per_server": cache_bytes_per_server}
         if block_bytes is not None:
             store_kwargs["block_bytes"] = block_bytes
+        if wal_policy is not None:
+            # Durable ingest: every region server keeps a write-ahead log
+            # and the store survives injected region-server crashes.
+            store_kwargs["wal_policy"] = wal_policy
+            store_kwargs["cost_model"] = cost_model
         self.store = KVStore(num_servers, **store_kwargs)
         self.cluster = Cluster(num_servers, memory_budget_bytes, cost_model)
         self.catalog = Catalog()

@@ -73,6 +73,24 @@ class IndexError_(JustError):
     """An index strategy was asked to encode data it cannot handle."""
 
 
+class RegionUnavailableError(JustError):
+    """A key-range region is offline while its server recovers.
+
+    Raised between a region server's crash and the completion of
+    failover + WAL replay for its regions.  Clients retry with bounded
+    exponential backoff, like an HBase client during region reassignment.
+    """
+
+    def __init__(self, table: str, region_id: int, server: int):
+        super().__init__(
+            f"region {region_id} of table {table!r} is unavailable: "
+            f"region server {server} failed and recovery has not "
+            f"completed")
+        self.table = table
+        self.region_id = region_id
+        self.server = server
+
+
 class SessionError(JustError):
     """A service-layer session operation failed (expired, unknown user...)."""
 

@@ -1,0 +1,15 @@
+"""Deterministic fault injection for the simulated store.
+
+The paper inherits HBase's fault tolerance — region-server WALs, log
+replay, and region reassignment — and this package makes that axis
+measurable: seeded :class:`FaultPlan` schedules kill region servers at
+exact operation counts (or with seeded probabilities), optionally
+corrupting the dead server's log tail, while the store's durability
+machinery (:mod:`repro.kvstore.wal`, :mod:`repro.kvstore.recovery`)
+picks up the pieces.
+"""
+
+from repro.faults.plan import CorruptionMode, FaultPlan, KillServer
+from repro.faults.injector import FaultInjector
+
+__all__ = ["CorruptionMode", "FaultPlan", "KillServer", "FaultInjector"]

@@ -1,0 +1,54 @@
+"""The fault-injection harness wired into the key-value store.
+
+The store calls :meth:`FaultInjector.on_op` at the top of every table
+operation; the injector advances its deterministic schedule and crashes
+servers through :meth:`KVStore.crash_server` when a fault fires.  Two
+runs with the same plan (same seed) inject the exact same faults at the
+exact same operations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FaultPlan, KillServer
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` against one store."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.op_count = 0
+        self.fired: list[KillServer] = []
+        self._pending: list[KillServer] = list(plan.faults)
+        self._rng = random.Random(plan.seed)
+
+    def attach(self, store) -> "FaultInjector":
+        """Install this injector on ``store`` and return it."""
+        store.fault_injector = self
+        return self
+
+    def on_op(self, store, op: str) -> None:
+        if op not in self.plan.ops or not self._pending:
+            return
+        self.op_count += 1
+        fired_now = []
+        for fault in self._pending:
+            if fault.server in store.dead_servers:
+                fired_now.append(fault)  # target already dead: drop it
+                continue
+            if self._triggers(fault):
+                store.crash_server(
+                    fault.server,
+                    lost_tail_records=fault.lost_tail_records,
+                    defer_failover=fault.defer_failover)
+                fired_now.append(fault)
+                self.fired.append(fault)
+        for fault in fired_now:
+            self._pending.remove(fault)
+
+    def _triggers(self, fault: KillServer) -> bool:
+        if fault.after_ops is not None:
+            return self.op_count >= fault.after_ops
+        return self._rng.random() < fault.probability

@@ -1,0 +1,85 @@
+"""Declarative, deterministic fault plans.
+
+A :class:`FaultPlan` describes *what* goes wrong and *when*, decoupled
+from the store executing it: kill region server N after the K-th
+operation, or with probability p per operation under a fixed seed.  Log
+corruption modes model the two classic ways a write-ahead log lies
+after a crash: a torn tail (the final record was mid-write) and delayed
+writes (the disk cache acknowledged records that never hit the platter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class CorruptionMode(Enum):
+    """How the dead server's WAL is damaged beyond the unsynced tail."""
+
+    NONE = "none"
+    #: The final record was being written when the server died; recovery
+    #: sees a CRC mismatch and treats it as end-of-log.
+    TORN_TAIL = "torn_tail"
+    #: The disk cache acknowledged the last few syncs without persisting
+    #: them, so several "durable" records are missing.
+    DELAYED_WRITE = "delayed_write"
+
+
+@dataclass(frozen=True, slots=True)
+class KillServer:
+    """Kill one region server, either at a fixed op count or randomly.
+
+    Exactly one of ``after_ops`` (deterministic trigger on the K-th
+    store operation) and ``probability`` (per-operation coin flip using
+    the plan's seed) must be set.
+    """
+
+    server: int
+    after_ops: int | None = None
+    probability: float | None = None
+    corruption: CorruptionMode = CorruptionMode.NONE
+    #: Records dropped off the synced log tail under DELAYED_WRITE.
+    delayed_records: int = 4
+    #: Leave the regions unavailable until an explicit failover call
+    #: (clients see RegionUnavailableError in the window).
+    defer_failover: bool = False
+
+    def __post_init__(self):
+        if (self.after_ops is None) == (self.probability is None):
+            raise ValueError(
+                "KillServer needs exactly one of after_ops/probability")
+        if self.after_ops is not None and self.after_ops < 1:
+            raise ValueError("after_ops must be >= 1")
+        if self.probability is not None and \
+                not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+
+    @property
+    def lost_tail_records(self) -> int:
+        if self.corruption is CorruptionMode.TORN_TAIL:
+            return 1
+        if self.corruption is CorruptionMode.DELAYED_WRITE:
+            return self.delayed_records
+        return 0
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A seeded schedule of faults for one store's lifetime."""
+
+    faults: tuple[KillServer, ...] = ()
+    seed: int = 0
+    #: Which store operations advance the op counter and can trigger
+    #: probabilistic faults ("put" covers deletes too).
+    ops: tuple[str, ...] = ("put",)
+
+    def __init__(self, faults=(), seed: int = 0, ops=("put",)):
+        object.__setattr__(self, "faults", tuple(faults))
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "ops", tuple(ops))
+
+    @classmethod
+    def kill_after(cls, server: int, ops: int, **kwargs) -> "FaultPlan":
+        """Shorthand: kill ``server`` right after the ``ops``-th write."""
+        return cls([KillServer(server, after_ops=ops, **kwargs)])

@@ -11,11 +11,20 @@ The store holds bytes in host RAM but meters every simulated disk and
 network byte through :class:`~repro.kvstore.iostats.IOStats`, which the
 cluster cost model converts into the simulated latencies reported by the
 benchmark harness.
+
+Durability is opt-in: construct the store with a
+:class:`~repro.kvstore.wal.SyncPolicy` and every region server keeps a
+write-ahead log, region-server crashes can be injected
+(:meth:`KVStore.crash_server`), and failover replays the log into the
+surviving servers (:mod:`repro.kvstore.recovery`).
 """
 
 from repro.kvstore.iostats import IOStats
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.store import KVStore, KVTable
 from repro.kvstore.scan import ScanSpec
+from repro.kvstore.wal import SyncPolicy, WriteAheadLog
+from repro.kvstore.recovery import RecoveryReport
 
-__all__ = ["IOStats", "BlockCache", "KVStore", "KVTable", "ScanSpec"]
+__all__ = ["IOStats", "BlockCache", "KVStore", "KVTable", "ScanSpec",
+           "SyncPolicy", "WriteAheadLog", "RecoveryReport"]

@@ -18,6 +18,10 @@ class IOSnapshot:
     scans_started: int = 0
     blocks_read: int = 0
     cache_hits: int = 0
+    wal_bytes_written: int = 0
+    wal_appends: int = 0
+    wal_syncs: int = 0
+    wal_bytes_replayed: int = 0
     per_server_read: dict[int, int] = field(default_factory=dict)
 
     def delta(self, earlier: "IOSnapshot") -> "IOSnapshot":
@@ -36,6 +40,12 @@ class IOSnapshot:
             scans_started=self.scans_started - earlier.scans_started,
             blocks_read=self.blocks_read - earlier.blocks_read,
             cache_hits=self.cache_hits - earlier.cache_hits,
+            wal_bytes_written=(self.wal_bytes_written
+                               - earlier.wal_bytes_written),
+            wal_appends=self.wal_appends - earlier.wal_appends,
+            wal_syncs=self.wal_syncs - earlier.wal_syncs,
+            wal_bytes_replayed=(self.wal_bytes_replayed
+                                - earlier.wal_bytes_replayed),
             per_server_read=dict(per_server),
         )
 
@@ -52,6 +62,10 @@ class IOStats:
         self.scans_started = 0
         self.blocks_read = 0
         self.cache_hits = 0
+        self.wal_bytes_written = 0
+        self.wal_appends = 0
+        self.wal_syncs = 0
+        self.wal_bytes_replayed = 0
         self.per_server_read: dict[int, int] = defaultdict(int)
 
     def record_disk_read(self, nbytes: int, server: int = 0) -> None:
@@ -75,6 +89,16 @@ class IOStats:
     def record_scan(self) -> None:
         self.scans_started += 1
 
+    def record_wal_append(self, nbytes: int, server: int = 0) -> None:
+        self.wal_bytes_written += nbytes
+        self.wal_appends += 1
+
+    def record_wal_sync(self) -> None:
+        self.wal_syncs += 1
+
+    def record_wal_replay(self, nbytes: int, server: int = 0) -> None:
+        self.wal_bytes_replayed += nbytes
+
     def snapshot(self) -> IOSnapshot:
         return IOSnapshot(
             disk_bytes_read=self.disk_bytes_read,
@@ -85,6 +109,10 @@ class IOStats:
             scans_started=self.scans_started,
             blocks_read=self.blocks_read,
             cache_hits=self.cache_hits,
+            wal_bytes_written=self.wal_bytes_written,
+            wal_appends=self.wal_appends,
+            wal_syncs=self.wal_syncs,
+            wal_bytes_replayed=self.wal_bytes_replayed,
             per_server_read=dict(self.per_server_read),
         )
 

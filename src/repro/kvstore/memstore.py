@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, insort
 
 #: Sentinel value marking a deleted key until compaction discards it.
 TOMBSTONE = None
@@ -37,10 +37,10 @@ class MemStore:
             return True, self._data[key]
         return False, None
 
-    def scan(self, start: bytes, end: bytes):
-        """Yield ``(key, value_or_tombstone)`` for keys in [start, end]."""
+    def scan(self, start: bytes, stop: bytes):
+        """Yield ``(key, value_or_tombstone)`` for keys in [start, stop)."""
         lo = bisect_left(self._sorted_keys, start)
-        hi = bisect_right(self._sorted_keys, end)
+        hi = bisect_left(self._sorted_keys, stop)
         for i in range(lo, hi):
             key = self._sorted_keys[i]
             yield key, self._data[key]

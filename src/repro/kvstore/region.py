@@ -8,6 +8,7 @@ from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.iostats import IOStats
 from repro.kvstore.memstore import MemStore
 from repro.kvstore.sstable import DEFAULT_BLOCK_BYTES, SSTable
+from repro.kvstore.wal import WriteAheadLog
 
 _REGION_IDS = itertools.count()
 
@@ -22,13 +23,16 @@ class Region:
 
     ``end_key=None`` means unbounded above.  Each region is hosted by one
     region server (``server``); scans charge that server's I/O counters so
-    the cost model can account for parallelism across servers.
+    the cost model can account for parallelism across servers.  When the
+    store runs with a write-ahead log, the region checkpoints the WAL at
+    every flush so replay after a crash only covers unflushed edits.
     """
 
     def __init__(self, start_key: bytes, end_key: bytes | None,
                  stats: IOStats, server: int = 0,
                  flush_bytes: int = DEFAULT_FLUSH_BYTES,
-                 block_bytes: int = DEFAULT_BLOCK_BYTES):
+                 block_bytes: int = DEFAULT_BLOCK_BYTES,
+                 wal: WriteAheadLog | None = None):
         self.region_id = next(_REGION_IDS)
         self.start_key = start_key
         self.end_key = end_key
@@ -36,6 +40,9 @@ class Region:
         self._stats = stats
         self._flush_bytes = flush_bytes
         self._block_bytes = block_bytes
+        self.wal = wal
+        #: Highest WAL sequence number absorbed into this region.
+        self.max_seqno = 0
         self.memstore = MemStore()
         self.sstables: list[SSTable] = []  # oldest first
 
@@ -45,13 +52,17 @@ class Region:
             return False
         return self.end_key is None or key < self.end_key
 
-    def overlaps(self, start: bytes, end: bytes) -> bool:
+    def overlaps(self, start: bytes, stop: bytes) -> bool:
+        """True when [start, stop) intersects this region's key range."""
         if self.end_key is not None and start >= self.end_key:
             return False
-        return end >= self.start_key
+        return stop > self.start_key
 
     # -- write path ----------------------------------------------------------
-    def put(self, key: bytes, value: bytes | None) -> None:
+    def put(self, key: bytes, value: bytes | None,
+            seqno: int | None = None) -> None:
+        if seqno is not None:
+            self.max_seqno = max(self.max_seqno, seqno)
         self.memstore.put(key, value)
         if self.memstore.size_bytes >= self._flush_bytes:
             self.flush()
@@ -64,6 +75,8 @@ class Region:
         self.sstables.append(
             SSTable(entries, self._stats, self._block_bytes))
         self.memstore.clear()
+        if self.wal is not None:
+            self.wal.checkpoint(self.region_id, self.max_seqno)
         if len(self.sstables) >= DEFAULT_COMPACT_RUNS:
             self.compact()
 
@@ -94,12 +107,11 @@ class Region:
                 return value
         return None
 
-    def scan(self, start: bytes, end: bytes, cache: BlockCache | None):
-        """Yield live ``(key, value)`` pairs in [start, end], key-sorted."""
+    def scan(self, start: bytes, stop: bytes, cache: BlockCache | None):
+        """Yield live ``(key, value)`` pairs in [start, stop), key-sorted."""
         lo = max(start, self.start_key)
-        hi = end if self.end_key is None else min(
-            end, _predecessor(self.end_key))
-        if hi < lo:
+        hi = stop if self.end_key is None else min(stop, self.end_key)
+        if hi <= lo:
             return
         merged: dict[bytes, bytes | None] = {}
         for sstable in self.sstables:  # oldest first
@@ -132,12 +144,3 @@ class Region:
         for key, value in self.memstore.items_sorted():
             merged[key] = value
         return [(k, v) for k, v in sorted(merged.items()) if v is not None]
-
-
-def _predecessor(key: bytes) -> bytes:
-    """The largest byte string strictly below ``key``."""
-    if not key:
-        return b""
-    if key[-1] == 0:
-        return key[:-1]
-    return key[:-1] + bytes([key[-1] - 1]) + b"\xff" * 8

@@ -5,17 +5,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+def prefix_successor(prefix: bytes) -> bytes | None:
+    """The smallest byte string greater than every key with ``prefix``.
+
+    Trailing ``0xff`` bytes cannot be incremented, so they are stripped
+    first; a prefix that is empty or all ``0xff`` has no successor
+    (every key sorts below no finite bound) and returns ``None``.
+    """
+    trimmed = prefix.rstrip(b"\xff")
+    if not trimmed:
+        return None
+    return trimmed[:-1] + bytes([trimmed[-1] + 1])
+
+
 @dataclass(frozen=True, slots=True)
 class ScanSpec:
     """An inclusive key-range scan request.
 
     ``start=b""`` and ``end=b"\\xff" * 32`` together cover a whole table.
-    ``limit`` stops the scan after that many live entries.
+    ``limit`` stops the scan after that many live entries.  When
+    ``end_exclusive`` is set the range is ``[start, end)`` instead, which
+    lets prefix scans use an exact successor-of-prefix upper bound.
     """
 
     start: bytes = b""
     end: bytes = b"\xff" * 32
     limit: int | None = None
+    end_exclusive: bool = False
 
     @classmethod
     def full(cls) -> "ScanSpec":
@@ -23,5 +39,14 @@ class ScanSpec:
 
     @classmethod
     def prefix(cls, prefix: bytes) -> "ScanSpec":
-        """Scan every key beginning with ``prefix``."""
-        return cls(prefix, prefix + b"\xff" * 16)
+        """Scan every key beginning with ``prefix``, whatever its length."""
+        successor = prefix_successor(prefix)
+        if successor is None:
+            # No finite upper bound exists; scan to the end of the table.
+            return cls(prefix, b"\xff" * 32)
+        return cls(prefix, successor, end_exclusive=True)
+
+    @property
+    def stop(self) -> bytes:
+        """The exclusive upper bound equivalent to this spec's range."""
+        return self.end if self.end_exclusive else self.end + b"\x00"

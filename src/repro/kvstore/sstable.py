@@ -81,11 +81,11 @@ class SSTable:
         if cache is not None:
             cache.admit(key, size)
 
-    def scan(self, start: bytes, end: bytes,
+    def scan(self, start: bytes, stop: bytes,
              cache: BlockCache | None = None, server: int = 0):
-        """Yield entries with start <= key <= end, charging touched blocks."""
+        """Yield entries with start <= key < stop, charging touched blocks."""
         lo = bisect_left(self._keys, start)
-        hi = bisect_right(self._keys, end)
+        hi = bisect_left(self._keys, stop)
         if lo >= hi:
             return
         touched: set[int] = set()

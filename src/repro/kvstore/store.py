@@ -4,12 +4,22 @@ from __future__ import annotations
 
 from bisect import bisect_right
 
-from repro.errors import TableExistsError, TableNotFoundError
+from repro.errors import (
+    RegionUnavailableError,
+    TableExistsError,
+    TableNotFoundError,
+)
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.iostats import IOStats
+from repro.kvstore.recovery import RecoveryReport, recover_server
 from repro.kvstore.region import DEFAULT_FLUSH_BYTES, Region
 from repro.kvstore.scan import ScanSpec
 from repro.kvstore.sstable import DEFAULT_BLOCK_BYTES, SSTable
+from repro.kvstore.wal import (
+    DEFAULT_PERIODIC_BYTES,
+    SyncPolicy,
+    WriteAheadLog,
+)
 
 #: Split a region once its data exceeds this many bytes.
 DEFAULT_SPLIT_BYTES = 4 * 1024 * 1024
@@ -22,10 +32,12 @@ class KVTable:
         self.name = name
         self._store = store
         self._stats = store.stats
+        server = store.next_server()
         first = Region(b"", None, store.stats,
-                       server=store.next_server(),
+                       server=server,
                        flush_bytes=store.flush_bytes,
-                       block_bytes=store.block_bytes)
+                       block_bytes=store.block_bytes,
+                       wal=store.wal_for(server))
         self._regions: list[Region] = [first]
         # _region_starts[i] == _regions[i].start_key, kept sorted for routing
         self._region_starts: list[bytes] = [b""]
@@ -35,32 +47,51 @@ class KVTable:
         index = bisect_right(self._region_starts, key) - 1
         return self._regions[index]
 
-    def _regions_overlapping(self, start: bytes, end: bytes) -> list[Region]:
-        return [r for r in self._regions if r.overlaps(start, end)]
+    def _regions_overlapping(self, start: bytes, stop: bytes) -> list[Region]:
+        return [r for r in self._regions if r.overlaps(start, stop)]
+
+    def regions(self) -> list[Region]:
+        return list(self._regions)
 
     # -- API -----------------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> None:
-        """Insert or overwrite one cell."""
-        region = self._region_for(key)
-        region.put(key, value)
-        if region.total_bytes >= self._store.split_bytes:
-            self._split(region)
+        """Insert or overwrite one cell.
+
+        With a write-ahead log configured, the mutation is logged on the
+        hosting region server before it reaches the memstore; under the
+        ``SYNC`` policy it is durable when this returns.
+        """
+        self._mutate(key, value)
 
     def delete(self, key: bytes) -> None:
         """Delete one cell (tombstone until compaction)."""
-        self._region_for(key).put(key, None)
+        self._mutate(key, None)
+
+    def _mutate(self, key: bytes, value: bytes | None) -> None:
+        self._store.tick_faults("put")
+        region = self._region_for(key)
+        self._store.check_available(self.name, region)
+        seqno = self._store.wal_append(region, self.name, key, value)
+        region.put(key, value, seqno)
+        if region.total_bytes >= self._store.split_bytes:
+            self._split(region)
 
     def get(self, key: bytes) -> bytes | None:
+        self._store.tick_faults("get")
         region = self._region_for(key)
+        self._store.check_available(self.name, region)
         return region.get(key, self._store.cache_for(region.server))
 
     def scan(self, spec: ScanSpec):
         """Yield live ``(key, value)`` pairs across regions, key-sorted."""
+        self._store.tick_faults("scan")
         self._stats.record_scan()
+        stop = spec.stop
         remaining = spec.limit
-        for region in self._regions_overlapping(spec.start, spec.end):
+        for region in self._regions_overlapping(spec.start, stop):
+            self._store.check_available(self.name, region)
             cache = self._store.cache_for(region.server)
-            for key, value in region.scan(spec.start, spec.end, cache):
+            for key, value in region.scan(spec.start, stop, cache):
                 self._stats.record_result(len(key) + len(value))
                 yield key, value
                 if remaining is not None:
@@ -86,14 +117,18 @@ class KVTable:
         split_key = entries[mid][0]
         if split_key <= region.start_key:
             return
+        left_server = region.server
+        right_server = self._store.next_server()
         left = Region(region.start_key, split_key, self._stats,
-                      server=region.server,
+                      server=left_server,
                       flush_bytes=self._store.flush_bytes,
-                      block_bytes=self._store.block_bytes)
+                      block_bytes=self._store.block_bytes,
+                      wal=self._store.wal_for(left_server))
         right = Region(split_key, region.end_key, self._stats,
-                       server=self._store.next_server(),
+                       server=right_server,
                        flush_bytes=self._store.flush_bytes,
-                       block_bytes=self._store.block_bytes)
+                       block_bytes=self._store.block_bytes,
+                       wal=self._store.wal_for(right_server))
         # An HBase split creates reference files rather than rewriting
         # data, so the daughters' SSTables are built without write charges.
         left.sstables = [SSTable(entries[:mid], self._stats,
@@ -102,6 +137,10 @@ class KVTable:
         right.sstables = [SSTable(entries[mid:], self._stats,
                                   self._store.block_bytes,
                                   charge_write=False)]
+        # Every parent entry (memstore included) is now persisted in the
+        # daughters' SSTables, so the parent's log records are obsolete.
+        if region.wal is not None:
+            region.wal.retire_region(region.region_id)
         index = self._regions.index(region)
         self._regions[index:index + 1] = [left, right]
         self._region_starts = [r.start_key for r in self._regions]
@@ -129,36 +168,147 @@ class KVTable:
 
 
 class KVStore:
-    """The store facade: named tables on ``num_servers`` region servers."""
+    """The store facade: named tables on ``num_servers`` region servers.
+
+    ``wal_policy=None`` (the default) runs without durability, exactly as
+    before; passing a :class:`~repro.kvstore.wal.SyncPolicy` gives every
+    region server a write-ahead log and enables crash recovery via
+    :meth:`crash_server` / :meth:`failover`.
+    """
 
     def __init__(self, num_servers: int = 5,
                  cache_bytes_per_server: int = 64 * 1024 * 1024,
                  flush_bytes: int = DEFAULT_FLUSH_BYTES,
                  split_bytes: int = DEFAULT_SPLIT_BYTES,
-                 block_bytes: int = DEFAULT_BLOCK_BYTES):
+                 block_bytes: int = DEFAULT_BLOCK_BYTES,
+                 wal_policy: SyncPolicy | None = None,
+                 wal_periodic_bytes: int = DEFAULT_PERIODIC_BYTES,
+                 cost_model=None,
+                 fault_injector=None):
         self.num_servers = num_servers
         self.flush_bytes = flush_bytes
         self.split_bytes = split_bytes
         self.block_bytes = block_bytes
         self.stats = IOStats()
+        self.wal_policy = wal_policy
+        self.cost_model = cost_model
+        self.fault_injector = fault_injector
+        self._wals: list[WriteAheadLog] | None = None
+        if wal_policy is not None:
+            self._wals = [WriteAheadLog(s, self.stats, wal_policy,
+                                        wal_periodic_bytes)
+                          for s in range(num_servers)]
+        self.dead_servers: set[int] = set()
+        #: Crashed servers whose failover has not run yet; their regions
+        #: raise RegionUnavailableError until :meth:`failover` completes.
+        self.recovering_servers: set[int] = set()
+        self._pending_crashes: dict[int, tuple[list, int]] = {}
+        self.recovery_log: list[RecoveryReport] = []
         self._tables: dict[str, KVTable] = {}
         self._caches = [BlockCache(cache_bytes_per_server)
                         for _ in range(num_servers)]
         self._server_cursor = 0
 
     def next_server(self) -> int:
-        """Round-robin region placement across servers."""
-        server = self._server_cursor
-        self._server_cursor = (self._server_cursor + 1) % self.num_servers
-        return server
+        """Round-robin region placement across the alive servers."""
+        for _ in range(self.num_servers):
+            server = self._server_cursor
+            self._server_cursor = (self._server_cursor + 1) % self.num_servers
+            if server not in self.dead_servers:
+                return server
+        raise RuntimeError("no surviving region servers")
+
+    @property
+    def alive_servers(self) -> list[int]:
+        return [s for s in range(self.num_servers)
+                if s not in self.dead_servers]
 
     def cache_for(self, server: int) -> BlockCache:
         return self._caches[server]
+
+    def wal_for(self, server: int) -> WriteAheadLog | None:
+        if self._wals is None:
+            return None
+        return self._wals[server]
 
     def clear_caches(self) -> None:
         """Drop every block cache (benchmarks do this between queries)."""
         for cache in self._caches:
             cache.clear()
+
+    # -- durability and fault tolerance ----------------------------------------
+    def tick_faults(self, op: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.on_op(self, op)
+
+    def wal_append(self, region: Region, table: str, key: bytes,
+                   value: bytes | None) -> int | None:
+        wal = self.wal_for(region.server)
+        if wal is None:
+            return None
+        return wal.append(table, region.region_id, key, value)
+
+    def check_available(self, table: str, region: Region) -> None:
+        if region.server in self.recovering_servers:
+            raise RegionUnavailableError(table, region.region_id,
+                                         region.server)
+
+    def sync_wals(self) -> None:
+        """Force-sync every server's log (an explicit durability barrier)."""
+        if self._wals is not None:
+            for wal in self._wals:
+                wal.sync()
+
+    def crash_server(self, server: int, lost_tail_records: int = 0,
+                     defer_failover: bool = False) -> RecoveryReport | None:
+        """Kill one region server.
+
+        Its block cache is invalidated, its memstores are gone, and its
+        WAL loses the unsynced tail (plus ``lost_tail_records`` synced
+        records when simulating torn-tail/delayed-write corruption).
+        Unless ``defer_failover`` is set, regions are immediately failed
+        over to the survivors; otherwise they stay unavailable — raising
+        :class:`RegionUnavailableError` — until :meth:`failover` runs.
+        """
+        if not 0 <= server < self.num_servers:
+            raise ValueError(f"no such server: {server}")
+        if server in self.dead_servers:
+            raise ValueError(f"server {server} is already dead")
+        if len(self.alive_servers) <= 1:
+            raise ValueError("cannot crash the last surviving server")
+        self.dead_servers.add(server)
+        self.recovering_servers.add(server)
+        self._caches[server].clear()
+        records: list = []
+        discarded = 0
+        wal = self.wal_for(server)
+        if wal is not None:
+            records, discarded = wal.crash(lost_tail_records)
+        else:
+            # No WAL: every unflushed edit on the server is simply gone.
+            for table in self._tables.values():
+                for region in table._regions:
+                    if region.server == server:
+                        discarded += len(region.memstore)
+        self._pending_crashes[server] = (records, discarded)
+        if defer_failover:
+            return None
+        return self.failover(server)
+
+    def failover(self, server: int) -> RecoveryReport:
+        """Reassign a dead server's regions and replay its WAL."""
+        if server not in self._pending_crashes:
+            raise ValueError(f"server {server} has no pending recovery")
+        records, discarded = self._pending_crashes.pop(server)
+        report = recover_server(self, server, records, discarded,
+                                model=self.cost_model)
+        self.recovering_servers.discard(server)
+        self.recovery_log.append(report)
+        return report
+
+    @property
+    def last_recovery(self) -> RecoveryReport | None:
+        return self.recovery_log[-1] if self.recovery_log else None
 
     # -- table management ------------------------------------------------------
     def create_table(self, name: str) -> KVTable:
@@ -177,6 +327,9 @@ class KVStore:
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise TableNotFoundError(name)
+        for region in self._tables[name]._regions:
+            if region.wal is not None:
+                region.wal.retire_region(region.region_id)
         del self._tables[name]
 
     def has_table(self, name: str) -> bool:
@@ -184,3 +337,6 @@ class KVStore:
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    def tables(self) -> list[KVTable]:
+        return list(self._tables.values())

@@ -9,22 +9,39 @@ Usage, matching the paper's snippet::
         ...
 
 The client owns one server session and re-connects transparently when the
-session times out, so long-lived notebooks keep working.
+session times out, so long-lived notebooks keep working.  Statements that
+hit a region mid-failover (:class:`RegionUnavailableError`) are retried
+with bounded exponential backoff, like an HBase client waiting out a
+region reassignment.
 """
 
 from __future__ import annotations
 
-from repro.errors import SessionError
+import time
+
+from repro.errors import RegionUnavailableError, SessionError
 from repro.service.server import JustServer
 from repro.sql.result import ResultSet
 
 
 class JustClient:
-    """A connected SDK client for one user."""
+    """A connected SDK client for one user.
 
-    def __init__(self, server: JustServer, user: str):
+    ``max_retries``/``backoff_base_ms`` bound the retry loop for
+    recovering regions; ``sleep`` is injectable so tests (and the
+    simulated clock) don't wait on the wall clock.
+    """
+
+    def __init__(self, server: JustServer, user: str,
+                 max_retries: int = 4,
+                 backoff_base_ms: float = 10.0,
+                 sleep=time.sleep):
         self.server = server
         self.user = user
+        self.max_retries = max_retries
+        self.backoff_base_ms = backoff_base_ms
+        self._sleep = sleep
+        self.retries_attempted = 0
         self._session_id = server.connect(user)
 
     @property
@@ -32,7 +49,24 @@ class JustClient:
         return self._session_id
 
     def execute_query(self, statement: str) -> ResultSet:
-        """Execute one JustQL statement; reconnects on session timeout."""
+        """Execute one JustQL statement.
+
+        Reconnects on session timeout; backs off and retries while a
+        region is offline for crash recovery, re-raising once
+        ``max_retries`` attempts are exhausted.
+        """
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self._execute_once(statement)
+            except RegionUnavailableError:
+                if attempt >= self.max_retries:
+                    raise
+                self.retries_attempted += 1
+                delay_ms = self.backoff_base_ms * (2 ** attempt)
+                self._sleep(delay_ms / 1000.0)
+        raise AssertionError("unreachable")
+
+    def _execute_once(self, statement: str) -> ResultSet:
         try:
             return self.server.execute(self._session_id, statement)
         except SessionError:

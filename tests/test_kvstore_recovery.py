@@ -1,0 +1,200 @@
+"""Crash recovery: failover, WAL replay, and durability guarantees.
+
+The acceptance property: under the SYNC policy, a region-server crash
+mid-ingest loses **zero** acknowledged writes — every key whose ``put``
+returned before the crash is readable after failover + replay.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import RegionUnavailableError
+from repro.faults import CorruptionMode, FaultInjector, FaultPlan
+from repro.kvstore import KVStore, ScanSpec, SyncPolicy
+
+
+def durable_store(policy=SyncPolicy.SYNC, num_servers=4, **kwargs):
+    defaults = dict(num_servers=num_servers, wal_policy=policy,
+                    flush_bytes=4 * 1024, split_bytes=16 * 1024,
+                    block_bytes=512)
+    defaults.update(kwargs)
+    return KVStore(**defaults)
+
+
+def ingest(table, count, seed=0, value_bytes=40):
+    """Random-keyed ingest; returns the acknowledged (key, value) pairs."""
+    rng = random.Random(seed)
+    acked = []
+    for _ in range(count):
+        key = f"k{rng.getrandbits(48):012x}".encode()
+        value = rng.randbytes(value_bytes)
+        table.put(key, value)
+        acked.append((key, value))
+    return acked
+
+
+class TestSyncDurability:
+    def test_sync_crash_loses_zero_acknowledged_writes(self):
+        store = durable_store(SyncPolicy.SYNC)
+        table = store.create_table("t")
+        plan = FaultPlan.kill_after(0, 700)
+        FaultInjector(plan).attach(store)
+        acked = ingest(table, 1200)
+        assert store.last_recovery is not None  # the crash fired
+        for key, value in acked:
+            assert table.get(key) == value
+        assert store.last_recovery.discarded_records == 0
+
+    def test_sync_crash_every_server_in_turn(self):
+        # Chained failures: crash three of four servers one at a time.
+        store = durable_store(SyncPolicy.SYNC)
+        table = store.create_table("t")
+        acked = ingest(table, 600)
+        for victim in (0, 1, 2):
+            store.crash_server(victim)
+            for key, value in acked:
+                assert table.get(key) == value
+        assert [r.server for r in store.recovery_log] == [0, 1, 2]
+
+    def test_scan_complete_after_failover(self):
+        store = durable_store(SyncPolicy.SYNC)
+        table = store.create_table("t")
+        acked = dict(ingest(table, 800))
+        store.crash_server(1)
+        got = dict(table.scan(ScanSpec.full()))
+        assert got == acked
+
+
+class TestAsyncLossWindow:
+    def test_async_may_lose_only_the_unsynced_tail(self):
+        store = durable_store(SyncPolicy.ASYNC)
+        table = store.create_table("t")
+        acked = ingest(table, 1000)
+        store.sync_wals()  # barrier: everything so far is durable
+        tail = ingest(table, 50, seed=99)
+        store.crash_server(0)
+        lost = [k for k, v in acked if table.get(k) != v]
+        assert lost == []  # synced prefix survives
+        tail_lost = sum(1 for k, v in tail if table.get(k) != v)
+        assert tail_lost <= len(tail)  # only the unsynced tail is at risk
+
+    def test_async_loses_more_than_sync(self):
+        losses = {}
+        for policy in (SyncPolicy.SYNC, SyncPolicy.ASYNC):
+            store = durable_store(policy)
+            table = store.create_table("t")
+            acked = ingest(table, 1200)
+            store.crash_server(0)
+            losses[policy] = sum(1 for k, v in acked
+                                 if table.get(k) != v)
+        assert losses[SyncPolicy.SYNC] == 0
+        assert losses[SyncPolicy.ASYNC] >= losses[SyncPolicy.SYNC]
+
+
+class TestFailoverMechanics:
+    def test_regions_reassigned_to_survivors(self):
+        store = durable_store(SyncPolicy.SYNC)
+        table = store.create_table("t")
+        ingest(table, 1500)
+        assert 0 in table.servers_used()
+        report = store.crash_server(0) or store.last_recovery
+        assert 0 not in table.servers_used()
+        assert report.regions_reassigned > 0
+        assert all(s != 0 for s in report.reassignments.values())
+
+    def test_dead_server_excluded_from_placement(self):
+        store = durable_store(SyncPolicy.SYNC)
+        store.create_table("t")
+        store.crash_server(0)
+        picks = {store.next_server() for _ in range(20)}
+        assert 0 not in picks
+        assert picks <= set(store.alive_servers)
+
+    def test_block_cache_invalidated_on_crash(self):
+        store = durable_store(SyncPolicy.SYNC)
+        table = store.create_table("t")
+        ingest(table, 500)
+        list(table.scan(ScanSpec.full()))  # warm the caches
+        victim = 0
+        assert store.cache_for(victim).used_bytes >= 0
+        store.crash_server(victim)
+        assert store.cache_for(victim).used_bytes == 0
+        assert len(store.cache_for(victim)) == 0
+
+    def test_report_records_replay_volume(self):
+        store = durable_store(SyncPolicy.SYNC)
+        table = store.create_table("t")
+        ingest(table, 1000)
+        report = None
+        store.crash_server(0)
+        report = store.last_recovery
+        assert report.replayed_bytes >= 0
+        assert report.recovery_ms > 0
+        assert store.stats.wal_bytes_replayed == report.replayed_bytes
+
+    def test_cannot_crash_last_server(self):
+        store = durable_store(SyncPolicy.SYNC, num_servers=2)
+        store.crash_server(0)
+        with pytest.raises(ValueError):
+            store.crash_server(1)
+
+    def test_cannot_crash_twice(self):
+        store = durable_store(SyncPolicy.SYNC)
+        store.crash_server(0)
+        with pytest.raises(ValueError):
+            store.crash_server(0)
+
+    def test_recovery_without_wal_loses_memstores(self):
+        store = KVStore(num_servers=3, flush_bytes=1 << 30)  # never flush
+        table = store.create_table("t")
+        table.put(b"k", b"v")
+        store.crash_server(0)
+        assert table.get(b"k") is None
+        assert store.last_recovery.discarded_records == 1
+
+
+class TestDeferredFailover:
+    def test_regions_unavailable_until_failover(self):
+        store = durable_store(SyncPolicy.SYNC)
+        table = store.create_table("t")
+        acked = ingest(table, 300)
+        store.crash_server(0, defer_failover=True)
+        with pytest.raises(RegionUnavailableError):
+            table.get(acked[0][0])
+        with pytest.raises(RegionUnavailableError):
+            table.put(acked[0][0], b"new")
+        report = store.failover(0)
+        assert report.server == 0
+        assert table.get(acked[0][0]) == acked[0][1]
+
+    def test_unavailable_error_carries_context(self):
+        store = durable_store(SyncPolicy.SYNC)
+        table = store.create_table("t")
+        table.put(b"k", b"v")
+        store.crash_server(0, defer_failover=True)
+        with pytest.raises(RegionUnavailableError) as exc:
+            table.get(b"k")
+        assert exc.value.server == 0
+        assert exc.value.table == "t"
+        store.failover(0)
+
+
+class TestCorruption:
+    def test_torn_tail_reported_as_discarded(self):
+        store = durable_store(SyncPolicy.SYNC)
+        table = store.create_table("t")
+        ingest(table, 400)
+        store.crash_server(0, lost_tail_records=1)
+        assert store.last_recovery.discarded_records <= 1
+
+    def test_injected_corruption_modes(self):
+        for mode, bound in ((CorruptionMode.TORN_TAIL, 1),
+                            (CorruptionMode.DELAYED_WRITE, 4)):
+            store = durable_store(SyncPolicy.SYNC)
+            table = store.create_table("t")
+            plan = FaultPlan.kill_after(0, 300, corruption=mode)
+            FaultInjector(plan).attach(store)
+            acked = ingest(table, 400)
+            lost = sum(1 for k, v in acked if table.get(k) != v)
+            assert lost <= bound

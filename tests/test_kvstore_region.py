@@ -1,7 +1,7 @@
 """Region internals: routing, flush/compaction, merge correctness."""
 
 from repro.kvstore.iostats import IOStats
-from repro.kvstore.region import Region, _predecessor
+from repro.kvstore.region import Region
 
 
 def make_region(**kwargs):
@@ -25,9 +25,11 @@ class TestRouting:
         assert not region.owns(b"t")  # end exclusive
 
     def test_overlaps(self):
+        # overlaps() takes a half-open [start, stop) request range.
         region = make_region(start_key=b"m", end_key=b"t")
-        assert region.overlaps(b"a", b"m")      # touches start
+        assert region.overlaps(b"a", b"m\x00")  # includes start key
         assert region.overlaps(b"p", b"z")
+        assert not region.overlaps(b"a", b"m")  # stops short of start
         assert not region.overlaps(b"t", b"z")  # starts at excl end
         assert not region.overlaps(b"a", b"l")
 
@@ -84,18 +86,18 @@ class TestFlushCompact:
         assert region.all_entries() == [(b"b", b"2")]
 
 
-class TestPredecessor:
-    def test_simple(self):
-        assert _predecessor(b"b") < b"b"
-        assert _predecessor(b"b") > b"a\xf0"
+class TestScanBounds:
+    def test_stop_is_exclusive(self):
+        region = make_region()
+        for key in (b"a", b"b", b"c"):
+            region.put(key, key)
+        got = [k for k, _v in region.scan(b"a", b"c", None)]
+        assert got == [b"a", b"b"]
 
-    def test_zero_byte(self):
-        assert _predecessor(b"a\x00") == b"a"
-
-    def test_empty(self):
-        assert _predecessor(b"") == b""
-
-    def test_ordering_property(self):
-        for key in (b"abc", b"a\x00b", b"\x01", b"zz\xff"):
-            predecessor = _predecessor(key)
-            assert predecessor < key
+    def test_region_end_key_caps_scan(self):
+        region = make_region(start_key=b"", end_key=b"c")
+        region.put(b"a", b"1")
+        region.put(b"b", b"2")
+        # Keys at/above the region's end key belong to the next region.
+        got = [k for k, _v in region.scan(b"", b"\xff", None)]
+        assert got == [b"a", b"b"]

@@ -24,9 +24,9 @@ def test_charge_write_flag():
     assert stats.disk_bytes_written == 0
 
 
-def test_scan_returns_range():
+def test_scan_returns_half_open_range():
     sstable, _ = make_sstable(50)
-    got = [k for k, _v in sstable.scan(b"k00010", b"k00019")]
+    got = [k for k, _v in sstable.scan(b"k00010", b"k00020")]
     assert got == [f"k{i:05d}".encode() for i in range(10, 20)]
 
 

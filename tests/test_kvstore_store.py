@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import TableExistsError, TableNotFoundError
 from repro.kvstore import KVStore, ScanSpec
+from repro.kvstore.scan import prefix_successor
 
 
 def small_store(**kwargs):
@@ -103,6 +104,42 @@ class TestReadWrite:
         assert values == [b"two"]
 
 
+class TestPrefixScan:
+    def test_prefix_successor_bound(self):
+        assert prefix_successor(b"ab") == b"ac"
+        assert prefix_successor(b"a\xff") == b"b"
+        assert prefix_successor(b"a\xff\xff") == b"b"
+        assert prefix_successor(b"\xff\xff") is None
+        assert prefix_successor(b"") is None
+
+    def test_prefix_includes_keys_longer_than_16_bytes_past_prefix(self):
+        # Regression: the old end bound (prefix + b"\xff" * 16) silently
+        # excluded keys extending more than 16 bytes past the prefix.
+        table = small_store().create_table("t")
+        long_key = b"p" + b"x" * 40
+        table.put(long_key, b"deep")
+        table.put(b"p", b"exact")
+        table.put(b"p\xff" * 20, b"ff-heavy")
+        got = dict(table.scan(ScanSpec.prefix(b"p")))
+        assert got == {long_key: b"deep", b"p": b"exact",
+                       b"p\xff" * 20: b"ff-heavy"}
+
+    def test_prefix_excludes_successor_keys(self):
+        table = small_store().create_table("t")
+        table.put(b"pa", b"in")
+        table.put(b"q", b"out")
+        table.put(b"q" + b"\x00" * 30, b"out-too")
+        got = [k for k, _ in table.scan(ScanSpec.prefix(b"p"))]
+        assert got == [b"pa"]
+
+    def test_all_ff_prefix_scans_to_table_end(self):
+        table = small_store().create_table("t")
+        table.put(b"\xff\xffz", b"v")
+        table.put(b"a", b"other")
+        got = [k for k, _ in table.scan(ScanSpec.prefix(b"\xff\xff"))]
+        assert got == [b"\xff\xffz"]
+
+
 class TestRegionSplitting:
     def test_split_occurs_under_load(self):
         table = small_store().create_table("t")
@@ -129,6 +166,60 @@ class TestRegionSplitting:
         for i in range(4000):
             table.put(f"{i:06d}".encode(), payload)
         assert len(table.servers_used()) > 1
+
+    def test_delete_then_split_keeps_deletes(self):
+        # Tombstoned keys must not resurrect when the region splits:
+        # the split merges runs and drops masked values and tombstones.
+        table = small_store().create_table("t")
+        payload = b"x" * 200
+        for i in range(200):
+            table.put(f"{i:06d}".encode(), payload)
+        deleted = [f"{i:06d}".encode() for i in range(0, 200, 7)]
+        for key in deleted:
+            table.delete(key)
+        for i in range(200, 2000):  # grow past the split threshold
+            table.put(f"{i:06d}".encode(), payload)
+        assert table.num_regions > 1
+        for key in deleted:
+            assert table.get(key) is None
+        keys = set(k for k, _ in table.scan(ScanSpec.full()))
+        assert keys.isdisjoint(deleted)
+        assert len(keys) == 2000 - len(deleted)
+
+    def test_scan_limit_crossing_split_boundary(self):
+        table = small_store().create_table("t")
+        payload = b"x" * 200
+        for i in range(2000):
+            table.put(f"{i:06d}".encode(), payload)
+        assert table.num_regions > 1
+        # A limit larger than the first region's share must continue
+        # seamlessly into the next region, in key order.
+        first_region_keys = len(list(
+            table._regions[0].scan(b"", b"\xff" * 8, None)))
+        limit = first_region_keys + 25
+        got = [k for k, _ in table.scan(ScanSpec(limit=limit))]
+        assert got == [f"{i:06d}".encode() for i in range(limit)]
+
+    def test_split_on_single_server_store(self):
+        # All regions inevitably share the one server; splitting must
+        # still work and keep routing consistent.
+        table = small_store(num_servers=1).create_table("t")
+        payload = b"x" * 200
+        for i in range(2000):
+            table.put(f"{i:06d}".encode(), payload)
+        assert table.num_regions > 1
+        assert table.servers_used() == {0}
+        assert table.get(b"001234") == payload
+
+    def test_split_aborts_on_single_giant_key(self):
+        # One key overwritten past the split threshold cannot split
+        # (split_key would equal start_key); the store must not loop.
+        store = small_store(split_bytes=2048, flush_bytes=512)
+        table = store.create_table("t")
+        for _ in range(50):
+            table.put(b"only-key", b"x" * 400)
+        assert table.num_regions == 1
+        assert table.get(b"only-key") == b"x" * 400
 
     def test_compaction_reclaims_tombstones(self):
         table = small_store().create_table("t")

@@ -1,0 +1,162 @@
+"""Write-ahead log: sequence numbers, sync policies, truncation, crash."""
+
+import pytest
+
+from repro.kvstore.iostats import IOStats
+from repro.kvstore.wal import SyncPolicy, WriteAheadLog
+
+
+def make_wal(policy=SyncPolicy.ASYNC, **kwargs):
+    return WriteAheadLog(0, IOStats(), policy, **kwargs)
+
+
+class TestAppend:
+    def test_seqnos_monotonic_from_one(self):
+        wal = make_wal()
+        seqnos = [wal.append("t", 1, f"k{i}".encode(), b"v")
+                  for i in range(5)]
+        assert seqnos == [1, 2, 3, 4, 5]
+        assert wal.appended_seqno == 5
+
+    def test_append_charges_iostats(self):
+        stats = IOStats()
+        wal = WriteAheadLog(0, stats)
+        wal.append("t", 1, b"key", b"value")
+        assert stats.wal_appends == 1
+        assert stats.wal_bytes_written > len(b"key") + len(b"value")
+
+    def test_tombstone_append(self):
+        wal = make_wal()
+        wal.append("t", 1, b"k", None)
+        assert wal.live_records == 1
+
+
+class TestSyncPolicies:
+    def test_sync_policy_durable_per_append(self):
+        wal = make_wal(SyncPolicy.SYNC)
+        for i in range(3):
+            wal.append("t", 1, f"k{i}".encode(), b"v")
+            assert wal.synced_seqno == wal.appended_seqno
+        assert wal.sync_count == 3
+
+    def test_async_policy_defers_sync(self):
+        wal = make_wal(SyncPolicy.ASYNC)
+        for i in range(3):
+            wal.append("t", 1, f"k{i}".encode(), b"v")
+        assert wal.synced_seqno == 0
+        assert wal.unsynced_records == 3
+
+    def test_periodic_policy_group_commits(self):
+        wal = make_wal(SyncPolicy.PERIODIC, periodic_bytes=200)
+        for i in range(10):
+            wal.append("t", 1, f"k{i}".encode(), b"v" * 40)
+        # Several appends share each fsync (group commit).
+        assert 0 < wal.sync_count < 10
+        assert wal.unsynced_records < 10
+
+    def test_explicit_sync_is_a_barrier(self):
+        wal = make_wal(SyncPolicy.ASYNC)
+        wal.append("t", 1, b"a", b"1")
+        wal.sync()
+        assert wal.synced_seqno == wal.appended_seqno
+        assert wal.sync_count == 1
+        wal.sync()  # nothing pending: no extra fsync
+        assert wal.sync_count == 1
+
+
+class TestCheckpointTruncate:
+    def test_checkpoint_truncates_flushed_prefix(self):
+        wal = make_wal(SyncPolicy.SYNC)
+        for i in range(4):
+            wal.append("t", 7, f"k{i}".encode(), b"v")
+        wal.checkpoint(7, 2)
+        assert wal.live_records == 2  # seqnos 3, 4 remain
+
+    def test_checkpoint_only_affects_its_region(self):
+        wal = make_wal(SyncPolicy.SYNC)
+        wal.append("t", 1, b"a", b"1")
+        wal.append("t", 2, b"b", b"2")
+        wal.checkpoint(1, 2)
+        assert wal.live_records == 1
+
+    def test_retire_region_drops_all_its_records(self):
+        wal = make_wal(SyncPolicy.SYNC)
+        wal.append("t", 1, b"a", b"1")
+        wal.append("t", 2, b"b", b"2")
+        wal.retire_region(1)
+        assert wal.live_records == 1
+        wal.append("t", 1, b"c", b"3")  # retired region stays retired
+        assert wal.live_records == 1
+
+    def test_checkpoint_acts_as_sync_barrier(self):
+        wal = make_wal(SyncPolicy.ASYNC)
+        wal.append("t", 1, b"a", b"1")
+        wal.append("t", 2, b"b", b"2")
+        wal.checkpoint(1, 1)
+        assert wal.synced_seqno == wal.appended_seqno
+
+
+class TestCrash:
+    def test_crash_drops_unsynced_tail(self):
+        wal = make_wal(SyncPolicy.ASYNC)
+        wal.append("t", 1, b"a", b"1")
+        wal.sync()
+        wal.append("t", 1, b"b", b"2")
+        wal.append("t", 1, b"c", b"3")
+        survivors, discarded = wal.crash()
+        assert [r.key for r in survivors] == [b"a"]
+        assert discarded == 2
+        assert wal.crashed
+
+    def test_sync_crash_loses_nothing(self):
+        wal = make_wal(SyncPolicy.SYNC)
+        for i in range(5):
+            wal.append("t", 1, f"k{i}".encode(), b"v")
+        survivors, discarded = wal.crash()
+        assert len(survivors) == 5
+        assert discarded == 0
+
+    def test_torn_tail_drops_last_synced_record(self):
+        wal = make_wal(SyncPolicy.SYNC)
+        for i in range(5):
+            wal.append("t", 1, f"k{i}".encode(), b"v")
+        survivors, discarded = wal.crash(lost_tail_records=1)
+        assert [r.key for r in survivors] == [b"k0", b"k1", b"k2", b"k3"]
+        assert discarded == 1
+
+    def test_delayed_write_drops_several(self):
+        wal = make_wal(SyncPolicy.SYNC)
+        for i in range(5):
+            wal.append("t", 1, f"k{i}".encode(), b"v")
+        survivors, discarded = wal.crash(lost_tail_records=3)
+        assert len(survivors) == 2
+        assert discarded == 3
+
+    def test_corruption_beyond_log_length(self):
+        wal = make_wal(SyncPolicy.SYNC)
+        wal.append("t", 1, b"a", b"1")
+        survivors, discarded = wal.crash(lost_tail_records=10)
+        assert survivors == []
+        assert discarded == 1
+
+    def test_crash_excludes_flushed_records(self):
+        wal = make_wal(SyncPolicy.SYNC)
+        for i in range(4):
+            wal.append("t", 1, f"k{i}".encode(), b"v")
+        wal.checkpoint(1, 3)  # k0..k2 flushed to SSTables
+        survivors, _ = wal.crash()
+        assert [r.key for r in survivors] == [b"k3"]
+
+    def test_sync_count_tracks_stats(self):
+        stats = IOStats()
+        wal = WriteAheadLog(0, stats, SyncPolicy.SYNC)
+        wal.append("t", 1, b"a", b"1")
+        assert stats.wal_syncs == 1
+
+
+def test_sync_policy_values():
+    assert SyncPolicy("sync") is SyncPolicy.SYNC
+    assert SyncPolicy("periodic") is SyncPolicy.PERIODIC
+    assert SyncPolicy("async") is SyncPolicy.ASYNC
+    with pytest.raises(ValueError):
+        SyncPolicy("fsync-every-other-tuesday")
