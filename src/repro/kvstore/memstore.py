@@ -37,10 +37,12 @@ class MemStore:
             return True, self._data[key]
         return False, None
 
-    def scan(self, start: bytes, stop: bytes):
-        """Yield ``(key, value_or_tombstone)`` for keys in [start, stop)."""
+    def scan(self, start: bytes, stop: bytes | None):
+        """Yield ``(key, value_or_tombstone)`` for keys in [start, stop);
+        ``stop=None`` is unbounded above."""
         lo = bisect_left(self._sorted_keys, start)
-        hi = bisect_left(self._sorted_keys, stop)
+        hi = len(self._sorted_keys) if stop is None \
+            else bisect_left(self._sorted_keys, stop)
         for i in range(lo, hi):
             key = self._sorted_keys[i]
             yield key, self._data[key]

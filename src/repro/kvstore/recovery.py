@@ -56,15 +56,23 @@ def recover_server(store, server: int,
             region.memstore.clear()  # the server's RAM is gone
             region.server = store.next_server()
             region.wal = store.wal_for(region.server)
-            region_map[region.region_id] = region
+            # Sequence numbers are per-server, so the dead server's high
+            # watermark means nothing to the destination WAL — left in
+            # place it would checkpoint the new log above seqnos it has
+            # not issued yet, truncating live records and losing them at
+            # the next crash.  Replay rebuilds it from the destination's
+            # own seqnos.
+            region.max_seqno = 0
+            region_map[region.region_id] = (table, region)
             report.reassignments[region.region_id] = region.server
     report.regions_reassigned = len(region_map)
 
     before = store.stats.snapshot()
     for record in records:
-        region = region_map.get(record.region_id)
-        if region is None:
+        entry = region_map.get(record.region_id)
+        if entry is None:
             continue  # region split or table dropped after the append
+        _table, region = entry
         seqno = None
         wal = store.wal_for(region.server)
         if wal is not None:
@@ -73,6 +81,11 @@ def recover_server(store, server: int,
         region.put(record.key, record.value, seqno)
         report.replayed_records += 1
         report.replayed_bytes += record.nbytes
+    # Replay bypasses KVTable._mutate, so re-check the split threshold for
+    # every rehomed region rather than deferring to the next mutation.
+    for table, region in region_map.values():
+        if region.total_bytes >= store.split_bytes:
+            table._split(region)
     store.stats.record_wal_replay(report.replayed_bytes, server)
     delta = store.stats.snapshot().delta(before)
 

@@ -52,11 +52,14 @@ class Region:
             return False
         return self.end_key is None or key < self.end_key
 
-    def overlaps(self, start: bytes, stop: bytes) -> bool:
-        """True when [start, stop) intersects this region's key range."""
+    def overlaps(self, start: bytes, stop: bytes | None) -> bool:
+        """True when [start, stop) intersects this region's key range.
+
+        ``stop=None`` means unbounded above, mirroring ``end_key=None``.
+        """
         if self.end_key is not None and start >= self.end_key:
             return False
-        return stop > self.start_key
+        return stop is None or stop > self.start_key
 
     # -- write path ----------------------------------------------------------
     def put(self, key: bytes, value: bytes | None,
@@ -107,11 +110,20 @@ class Region:
                 return value
         return None
 
-    def scan(self, start: bytes, stop: bytes, cache: BlockCache | None):
-        """Yield live ``(key, value)`` pairs in [start, stop), key-sorted."""
+    def scan(self, start: bytes, stop: bytes | None,
+             cache: BlockCache | None):
+        """Yield live ``(key, value)`` pairs in [start, stop), key-sorted.
+
+        ``stop=None`` means unbounded above.
+        """
         lo = max(start, self.start_key)
-        hi = stop if self.end_key is None else min(stop, self.end_key)
-        if hi <= lo:
+        if stop is None:
+            hi = self.end_key
+        elif self.end_key is None:
+            hi = stop
+        else:
+            hi = min(stop, self.end_key)
+        if hi is not None and hi <= lo:
             return
         merged: dict[bytes, bytes | None] = {}
         for sstable in self.sstables:  # oldest first

@@ -22,14 +22,15 @@ def prefix_successor(prefix: bytes) -> bytes | None:
 class ScanSpec:
     """An inclusive key-range scan request.
 
-    ``start=b""`` and ``end=b"\\xff" * 32`` together cover a whole table.
-    ``limit`` stops the scan after that many live entries.  When
-    ``end_exclusive`` is set the range is ``[start, end)`` instead, which
-    lets prefix scans use an exact successor-of-prefix upper bound.
+    ``end=None`` means unbounded above, so the default spec covers a
+    whole table whatever its key lengths.  ``limit`` stops the scan after
+    that many live entries.  When ``end_exclusive`` is set the range is
+    ``[start, end)`` instead, which lets prefix scans use an exact
+    successor-of-prefix upper bound.
     """
 
     start: bytes = b""
-    end: bytes = b"\xff" * 32
+    end: bytes | None = None
     limit: int | None = None
     end_exclusive: bool = False
 
@@ -43,10 +44,13 @@ class ScanSpec:
         successor = prefix_successor(prefix)
         if successor is None:
             # No finite upper bound exists; scan to the end of the table.
-            return cls(prefix, b"\xff" * 32)
+            return cls(prefix, None)
         return cls(prefix, successor, end_exclusive=True)
 
     @property
-    def stop(self) -> bytes:
-        """The exclusive upper bound equivalent to this spec's range."""
+    def stop(self) -> bytes | None:
+        """The exclusive upper bound equivalent to this spec's range;
+        ``None`` is unbounded above."""
+        if self.end is None:
+            return None
         return self.end if self.end_exclusive else self.end + b"\x00"

@@ -81,11 +81,13 @@ class SSTable:
         if cache is not None:
             cache.admit(key, size)
 
-    def scan(self, start: bytes, stop: bytes,
+    def scan(self, start: bytes, stop: bytes | None,
              cache: BlockCache | None = None, server: int = 0):
-        """Yield entries with start <= key < stop, charging touched blocks."""
+        """Yield entries with start <= key < stop, charging touched blocks;
+        ``stop=None`` is unbounded above."""
         lo = bisect_left(self._keys, start)
-        hi = bisect_left(self._keys, stop)
+        hi = len(self._keys) if stop is None \
+            else bisect_left(self._keys, stop)
         if lo >= hi:
             return
         touched: set[int] = set()

@@ -12,6 +12,7 @@ import pytest
 from repro.errors import RegionUnavailableError
 from repro.faults import CorruptionMode, FaultInjector, FaultPlan
 from repro.kvstore import KVStore, ScanSpec, SyncPolicy
+from repro.kvstore.wal import WALRecord
 
 
 def durable_store(policy=SyncPolicy.SYNC, num_servers=4, **kwargs):
@@ -56,6 +57,23 @@ class TestSyncDurability:
             for key, value in acked:
                 assert table.get(key) == value
         assert [r.server for r in store.recovery_log] == [0, 1, 2]
+
+    def test_chained_failover_flush_then_crash_loses_zero_writes(self):
+        # Regression: rehoming a region kept the dead server's max_seqno.
+        # Seqnos are per-server, so the first post-failover flush would
+        # checkpoint the destination WAL above seqnos it had not issued
+        # yet; every later append was then truncated as already-flushed
+        # and a second crash lost SYNC-acked writes.
+        store = durable_store(SyncPolicy.SYNC, split_bytes=1 << 30)
+        table = store.create_table("t")
+        acked = ingest(table, 300)  # flush-heavy: high seqnos on server 0
+        store.crash_server(table.regions()[0].server)
+        acked += ingest(table, 80, seed=1)
+        table.flush()  # checkpoint the destination WAL post-failover
+        acked += ingest(table, 10, seed=2)  # SYNC-acked, unflushed
+        store.crash_server(table.regions()[0].server)
+        lost = [k for k, v in acked if table.get(k) != v]
+        assert lost == []
 
     def test_scan_complete_after_failover(self):
         store = durable_store(SyncPolicy.SYNC)
@@ -144,6 +162,26 @@ class TestFailoverMechanics:
         store.crash_server(0)
         with pytest.raises(ValueError):
             store.crash_server(0)
+
+    def test_replay_splits_overgrown_region(self):
+        # Replay bypasses KVTable._mutate's split check, so recovery
+        # re-checks region sizes itself instead of leaving an overgrown
+        # region to sit until the next regular mutation.
+        store = durable_store(SyncPolicy.SYNC, split_bytes=4 * 1024)
+        table = store.create_table("t")
+        table.put(b"seed", b"v")
+        region = table.regions()[0]
+        victim = region.server
+        store.crash_server(victim, defer_failover=True)
+        records, discarded = store._pending_crashes[victim]
+        extra = [WALRecord(i + 1, "t", region.region_id,
+                           f"k{i:04d}".encode(), b"x" * 100)
+                 for i in range(80)]  # ~8 KiB, past the 4 KiB threshold
+        store._pending_crashes[victim] = (list(records) + extra, discarded)
+        store.failover(victim)
+        assert table.num_regions > 1
+        assert table.get(b"k0000") == b"x" * 100
+        assert table.get(b"k0079") == b"x" * 100
 
     def test_recovery_without_wal_loses_memstores(self):
         store = KVStore(num_servers=3, flush_bytes=1 << 30)  # never flush

@@ -139,6 +139,18 @@ class TestPrefixScan:
         got = [k for k, _ in table.scan(ScanSpec.prefix(b"\xff\xff"))]
         assert got == [b"\xff\xffz"]
 
+    def test_unbounded_scans_have_no_key_length_ceiling(self):
+        # Regression: successor-less prefixes fell back to a finite
+        # b"\xff" * 32 bound, excluding matching keys longer than 32
+        # bytes.  end=None is now a true "to the end of the table".
+        table = small_store().create_table("t")
+        beyond = b"\xff" * 40
+        table.put(beyond, b"v")
+        table.put(b"a", b"other")
+        assert dict(table.scan(ScanSpec.prefix(b"\xff\xff")))[beyond] == b"v"
+        assert dict(table.scan(ScanSpec.prefix(b"")))[beyond] == b"v"
+        assert dict(table.scan(ScanSpec.full()))[beyond] == b"v"
+
 
 class TestRegionSplitting:
     def test_split_occurs_under_load(self):
