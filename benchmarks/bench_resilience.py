@@ -1,0 +1,111 @@
+"""Request resilience: tail latency and goodput under gray failures.
+
+Not a paper figure — the paper's PaaS serves many concurrent users from
+one shared engine, and this quantifies the request-resilience layer that
+deployment needs: a seeded query workload runs against a cluster with
+one *sick* region server (uniformly slow, or flapping with intermittent
+errors) under three client policies — no protection, per-statement
+deadlines, and deadlines + opt-in partial results.  Reported per policy:
+
+* tail latency (p50/p95/p99, simulated ms) over finished requests,
+* goodput (fraction of requests that returned rows),
+* timeouts, typed failures, and partial results with skipped regions.
+
+Also usable standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py [--quick]
+"""
+
+from harness import FigureTable
+
+from repro.faults.resilience_demo import build_service, run_workload
+
+_QUERIES = 40
+_TIMEOUT_MS = 100.0
+_MODES = ("baseline", "deadline", "partial")
+
+
+def _sweep(fault: str, queries: int = _QUERIES) -> dict:
+    results = {}
+    for mode in _MODES:
+        server = build_service(fault)
+        results[mode] = run_workload(server, mode, queries=queries,
+                                     timeout_ms=_TIMEOUT_MS)
+    return results
+
+
+def _record(report, fault: str, results: dict) -> FigureTable:
+    table = FigureTable(f"Resilience R-{fault}",
+                        f"Client policies vs a {fault} region server",
+                        "metric")
+    for mode, result in results.items():
+        table.add(mode, "ok", result.ok)
+        table.add(mode, "timeouts", result.timeouts)
+        table.add(mode, "errors", result.errors)
+        table.add(mode, "partial", result.partial)
+        table.add(mode, "p50 ms", result.percentile(0.50))
+        table.add(mode, "p95 ms", result.percentile(0.95))
+        table.add(mode, "p99 ms", result.percentile(0.99))
+        table.add(mode, "goodput", round(result.goodput, 3))
+    return report.record(table)
+
+
+def test_deadlines_cap_tail_latency_on_slow_server(report, benchmark):
+    """A uniformly slow server: deadlines bound p99 at the budget."""
+    results = _sweep("slow")
+    _record(report, "slow", results)
+
+    baseline, deadline = results["baseline"], results["deadline"]
+    # Unprotected requests absorb the injected latency in full.
+    assert baseline.goodput == 1.0
+    assert baseline.percentile(0.99) > 10 * _TIMEOUT_MS
+    # Deadlines convert unbounded stalls into prompt, bounded timeouts:
+    # every finished latency sits within one charge of the budget.
+    assert deadline.timeouts > 0
+    assert max(deadline.latencies_ms) < 2 * _TIMEOUT_MS
+    assert deadline.percentile(0.99) < baseline.percentile(0.99) / 5
+    benchmark(lambda: run_workload(build_service("slow"), "deadline",
+                                   queries=5, timeout_ms=_TIMEOUT_MS))
+
+
+def test_partial_results_restore_goodput_on_flaky_server(report,
+                                                         benchmark):
+    """A flapping server: partial results trade completeness for
+    goodput where retries alone are hopeless."""
+    results = _sweep("flaky")
+    _record(report, "flaky", results)
+
+    baseline, partial = results["baseline"], results["partial"]
+    # Every scan crosses the sick server, so unprotected (and
+    # deadline-only) requests keep failing even after SDK retries...
+    assert baseline.goodput < 0.5
+    # ...while partial-results mode skips the flapping regions, returns
+    # the live rows, and reports exactly what was skipped.
+    assert partial.goodput > 0.9
+    assert partial.partial > 0
+    assert partial.regions_skipped > 0
+    benchmark(lambda: run_workload(build_service("flaky"), "partial",
+                                   queries=5, timeout_ms=_TIMEOUT_MS))
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (CI smoke): record both sweeps."""
+    import argparse
+
+    from harness import REPORT
+
+    parser = argparse.ArgumentParser(
+        description="Resilience benchmark: tail latency/goodput under "
+                    "gray failures.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    args = parser.parse_args(argv)
+    queries = 10 if args.quick else _QUERIES
+    for fault in ("slow", "flaky"):
+        _record(REPORT, fault, _sweep(fault, queries=queries))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -14,6 +14,10 @@ Fault-tolerance demo (crash a region server, measure recovery)::
 
     python -m repro faults --policy sync --kill-after 2000
 
+Request-resilience demo (deadlines/partial results vs a sick server)::
+
+    python -m repro resilience --fault flaky --queries 50
+
 The shell keeps one engine (and one user session) for its lifetime, prints
 result sets as aligned tables, and reports each query's simulated
 latency.  ``--user`` picks the namespace; multiple shells could share an
@@ -152,6 +156,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if argv and argv[0] == "faults":
         from repro.faults.demo import main as faults_main
         return faults_main(argv[1:], out=out)
+    if argv and argv[0] == "resilience":
+        from repro.faults.resilience_demo import main as resilience_main
+        return resilience_main(argv[1:], out=out)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="JustQL shell for the JUST reproduction engine.")

@@ -98,10 +98,18 @@ class SimJob:
     num_servers: int = 5
     elapsed_ms: float = 0.0
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: Optional per-statement budget (:class:`repro.resilience.Deadline`):
+    #: every charge consumes budget and an exhausted budget raises
+    #: QueryTimeoutError at the charge point, so cancellation overrun is
+    #: bounded by one charge's granularity.
+    deadline: object | None = None
 
     def _add(self, label: str, ms: float) -> None:
         self.elapsed_ms += ms
         self.breakdown[label] = self.breakdown.get(label, 0.0) + ms
+        if self.deadline is not None:
+            self.deadline.charge(ms)
+            self.deadline.check(label)
 
     def charge_fixed(self, label: str, ms: float) -> None:
         """An architecture-constant cost (job startup, driver overhead)."""

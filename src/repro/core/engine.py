@@ -79,10 +79,18 @@ class JustEngine:
                  adaptive_execution: bool = False,
                  oltp_threshold_bytes: int = 64 * 1024,
                  local_overhead_ms: float = 5.0,
-                 wal_policy=None):
+                 wal_policy=None,
+                 split_bytes: int | None = None,
+                 flush_bytes: int | None = None):
         store_kwargs = {"cache_bytes_per_server": cache_bytes_per_server}
         if block_bytes is not None:
             store_kwargs["block_bytes"] = block_bytes
+        if split_bytes is not None:
+            # Small split/flush thresholds let tests spread a modest table
+            # across many regions (and thus many servers) cheaply.
+            store_kwargs["split_bytes"] = split_bytes
+        if flush_bytes is not None:
+            store_kwargs["flush_bytes"] = flush_bytes
         if wal_policy is not None:
             # Durable ingest: every region server keeps a write-ahead log
             # and the store survives injected region-server crashes.
@@ -319,44 +327,52 @@ class JustEngine:
         job.charge_fixed("driver", self.cluster.model.query_overhead_ms)
 
     def spatial_range_query(self, table_name: str, envelope: Envelope,
-                            predicate: str = "intersects") -> QueryResult:
+                            predicate: str = "intersects",
+                            ctx=None) -> QueryResult:
         """All records intersecting (or within) a spatial rectangle."""
         table = self.table(table_name)
         job = self.cluster.job()
+        if ctx is not None:
+            ctx.bind(job)
         query = STQuery(envelope=envelope)
         if table.strategies:
             strategy_name, effective = self._plan(table, query)
             self._charge_query_overhead(job, table, strategy_name,
                                         effective)
-            rows = table.query(effective, predicate, job, strategy_name)
+            rows = table.query(effective, predicate, job, strategy_name,
+                               ctx)
             if effective is not query:
                 rows = [r for r in rows if table._matches(r, query,
                                                           predicate)]
         else:
             job.charge_fixed("driver",
                              self.cluster.model.query_overhead_ms)
-            rows = table.query(query, predicate, job)
+            rows = table.query(query, predicate, job, ctx=ctx)
         return QueryResult(rows, job)
 
     def st_range_query(self, table_name: str, envelope: Envelope | None,
                        t_min: float, t_max: float,
-                       predicate: str = "intersects") -> QueryResult:
+                       predicate: str = "intersects",
+                       ctx=None) -> QueryResult:
         """All records in a spatial rectangle during [t_min, t_max]."""
         table = self.table(table_name)
         job = self.cluster.job()
+        if ctx is not None:
+            ctx.bind(job)
         query = STQuery(envelope, t_min, t_max)
         if table.strategies:
             strategy_name, effective = self._plan(table, query)
             self._charge_query_overhead(job, table, strategy_name,
                                         effective)
-            rows = table.query(effective, predicate, job, strategy_name)
+            rows = table.query(effective, predicate, job, strategy_name,
+                               ctx)
             if effective is not query:
                 rows = [r for r in rows if table._matches(r, query,
                                                           predicate)]
         else:
             job.charge_fixed("driver",
                              self.cluster.model.query_overhead_ms)
-            rows = table.query(query, predicate, job)
+            rows = table.query(query, predicate, job, ctx=ctx)
         return QueryResult(rows, job)
 
     def knn(self, table_name: str, lng: float, lat: float,
@@ -399,10 +415,15 @@ class JustEngine:
                             config, batch_size, row_filter)
 
     # -- SQL ----------------------------------------------------------------------------------
-    def sql(self, statement: str, namespace: str = ""):
-        """Execute one JustQL statement; returns a ResultSet."""
+    def sql(self, statement: str, namespace: str = "", ctx=None):
+        """Execute one JustQL statement; returns a ResultSet.
+
+        ``ctx`` (a :class:`repro.resilience.RequestContext`) carries an
+        optional deadline and partial-results mode down through planning,
+        physical execution, and the store's region iteration.
+        """
         from repro.sql.executor import execute_statement
-        return execute_statement(self, statement, namespace)
+        return execute_statement(self, statement, namespace, ctx)
 
 
 def _attribute_fields(userdata: dict | None) -> list[str] | None:

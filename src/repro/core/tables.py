@@ -166,9 +166,9 @@ class CommonTable:
         """Delete one record by feature id; True when it existed."""
         return self._delete_existing(fid)
 
-    def get(self, fid: str) -> dict | None:
+    def get(self, fid: str, ctx=None) -> dict | None:
         """Point lookup by feature id."""
-        payload = self._id_table.get(fid.encode("utf-8"))
+        payload = self._id_table.get(fid.encode("utf-8"), ctx)
         if payload is None:
             return None
         return self.decorate_row(self.codec.decode_row(payload))
@@ -208,14 +208,19 @@ class CommonTable:
         return True
 
     def scan_ranges(self, strategy_name: str, ranges: list[KeyRange],
-                    job: SimJob | None = None):
-        """Raw scan over one index's key ranges, yielding decoded rows."""
+                    job: SimJob | None = None, ctx=None):
+        """Raw scan over one index's key ranges, yielding decoded rows.
+
+        ``ctx`` (a :class:`repro.resilience.RequestContext`) propagates
+        the statement deadline and partial-results mode into the store's
+        region iteration.
+        """
         table = self._index_tables[strategy_name]
         before = self.store.stats.snapshot()
         scanned = 0
         for key_range in ranges:
             for _key, payload in table.scan(
-                    ScanSpec(key_range.start, key_range.end)):
+                    ScanSpec(key_range.start, key_range.end), ctx):
                 scanned += 1
                 yield self.codec.decode_row(payload)
         if job is not None:
@@ -225,7 +230,7 @@ class CommonTable:
 
     def query(self, query: STQuery, predicate: str = "intersects",
               job: SimJob | None = None,
-              strategy_name: str | None = None) -> list[dict]:
+              strategy_name: str | None = None, ctx=None) -> list[dict]:
         """Index-served range query with exact post-filtering."""
         from repro.core.query import choose_strategy  # avoid import cycle
         if strategy_name is None:
@@ -233,7 +238,7 @@ class CommonTable:
         strategy = self.strategies[strategy_name]
         ranges = strategy.ranges(query)
         out = []
-        for row in self.scan_ranges(strategy_name, ranges, job):
+        for row in self.scan_ranges(strategy_name, ranges, job, ctx):
             if self._matches(row, query, predicate):
                 out.append(self.decorate_row(row))
         return out
@@ -247,31 +252,32 @@ class CommonTable:
                 f"{field_name!r}") from None
 
     def attribute_query(self, field_name: str, value,
-                        job: SimJob | None = None) -> list[dict]:
+                        job: SimJob | None = None, ctx=None) -> list[dict]:
         """Equality lookup served by a secondary attribute index."""
         index = self._attribute_index(field_name)
         return self._attribute_ranges(field_name,
-                                      index.ranges_for_value(value), job)
+                                      index.ranges_for_value(value), job, ctx)
 
     def attribute_range_query(self, field_name: str, low, high,
-                              job: SimJob | None = None) -> list[dict]:
+                              job: SimJob | None = None,
+                              ctx=None) -> list[dict]:
         """BETWEEN lookup served by a secondary attribute index.
 
         The index range is inclusive; callers post-filter exact bounds.
         """
         index = self._attribute_index(field_name)
         return self._attribute_ranges(
-            field_name, index.ranges_for_between(low, high), job)
+            field_name, index.ranges_for_between(low, high), job, ctx)
 
     def _attribute_ranges(self, field_name: str,
                           ranges: list[KeyRange],
-                          job: SimJob | None) -> list[dict]:
+                          job: SimJob | None, ctx=None) -> list[dict]:
         table = self._attr_tables[field_name]
         before = self.store.stats.snapshot()
         rows = []
         for key_range in ranges:
             for _key, payload in table.scan(
-                    ScanSpec(key_range.start, key_range.end)):
+                    ScanSpec(key_range.start, key_range.end), ctx):
                 rows.append(self.decorate_row(
                     self.codec.decode_row(payload)))
         if job is not None:
@@ -280,11 +286,11 @@ class CommonTable:
             job.charge_cpu_records(len(rows))
         return rows
 
-    def full_scan(self, job: SimJob | None = None) -> list[dict]:
+    def full_scan(self, job: SimJob | None = None, ctx=None) -> list[dict]:
         """Every row, via the feature-id table."""
         before = self.store.stats.snapshot()
         rows = []
-        for _key, payload in self._id_table.scan(ScanSpec.full()):
+        for _key, payload in self._id_table.scan(ScanSpec.full(), ctx):
             rows.append(self.decorate_row(self.codec.decode_row(payload)))
         if job is not None:
             delta = self.store.stats.snapshot().delta(before)

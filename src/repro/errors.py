@@ -81,14 +81,74 @@ class RegionUnavailableError(JustError):
     exponential backoff, like an HBase client during region reassignment.
     """
 
-    def __init__(self, table: str, region_id: int, server: int):
+    def __init__(self, table: str, region_id: int, server: int,
+                 reason: str | None = None):
+        if reason is None:
+            reason = (f"region server {server} failed and recovery has "
+                      f"not completed")
         super().__init__(
             f"region {region_id} of table {table!r} is unavailable: "
-            f"region server {server} failed and recovery has not "
-            f"completed")
+            f"{reason}")
         self.table = table
         self.region_id = region_id
         self.server = server
+        self.reason = reason
+
+
+class QueryTimeoutError(JustError):
+    """A statement exceeded its deadline and was cooperatively cancelled.
+
+    Deadlines are measured on the simulated clock: every cost charged to
+    the statement's job consumes budget, and scan/aggregation loops check
+    the remaining budget between units of work, so the overrun is bounded
+    by the granularity of a single charge.
+    """
+
+    def __init__(self, budget_ms: float, consumed_ms: float,
+                 operation: str = ""):
+        where = f" during {operation}" if operation else ""
+        super().__init__(
+            f"deadline of {budget_ms:.1f} ms exceeded{where}: "
+            f"{consumed_ms:.1f} sim-ms consumed")
+        self.budget_ms = budget_ms
+        self.consumed_ms = consumed_ms
+        self.operation = operation
+
+    @property
+    def overrun_ms(self) -> float:
+        return self.consumed_ms - self.budget_ms
+
+
+class ServerOverloadedError(JustError):
+    """The server shed this statement: admission control is at capacity.
+
+    Retryable — capacity frees up as in-flight statements finish, so
+    clients back off and retry (and their circuit breaker counts these
+    as failures, like HBase's ``RegionTooBusyException``).
+    """
+
+    def __init__(self, scope: str, in_flight: int, limit: int):
+        super().__init__(
+            f"server overloaded ({scope}): {in_flight} statements "
+            f"in flight, limit {limit}")
+        self.scope = scope
+        self.in_flight = in_flight
+        self.limit = limit
+
+
+class CircuitOpenError(JustError):
+    """The client's circuit breaker is open: the call failed fast.
+
+    Raised client-side without touching the server after repeated
+    retryable failures; ``retry_after_s`` is the cooldown remaining
+    before the breaker half-opens and lets a probe through.
+    """
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(
+            f"circuit breaker open; next probe allowed in "
+            f"{max(0.0, retry_after_s):.3f} s")
+        self.retry_after_s = retry_after_s
 
 
 class SessionError(JustError):
@@ -110,3 +170,47 @@ class SimulatedOutOfMemoryError(JustError):
         self.system = system
         self.required_bytes = required_bytes
         self.budget_bytes = budget_bytes
+
+
+# -- wire-format error mapping ------------------------------------------------
+
+#: Errors a client may safely retry: the condition is transient (a region
+#: mid-failover, a server shedding load) rather than a property of the
+#: statement itself.
+RETRYABLE_ERRORS = ("RegionUnavailableError", "ServerOverloadedError")
+
+
+def error_class_for(kind: str) -> type[JustError]:
+    """The :class:`JustError` subclass named ``kind``, or ``JustError``.
+
+    Used by the HTTP transport to map a wire-level ``kind`` tag back onto
+    the typed hierarchy so remote clients can distinguish retryable from
+    fatal failures.
+    """
+    def walk(cls):
+        yield cls
+        for sub in cls.__subclasses__():
+            yield from walk(sub)
+    for cls in walk(JustError):
+        if cls.__name__ == kind:
+            return cls
+    return JustError
+
+
+def remote_error(kind: str, message: str) -> JustError:
+    """Reconstruct a typed engine error from its wire representation.
+
+    The instance satisfies ``isinstance`` checks against the hierarchy
+    and carries the server's message; constructor-derived attributes
+    (e.g. ``RegionUnavailableError.region_id``) are not recovered from
+    the wire and are absent on the reconstructed object.
+    """
+    cls = error_class_for(kind)
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, message)
+    return exc
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True for transient errors a client should back off and retry."""
+    return isinstance(exc, (RegionUnavailableError, ServerOverloadedError))

@@ -7,9 +7,21 @@ exact operation counts (or with seeded probabilities), optionally
 corrupting the dead server's log tail, while the store's durability
 machinery (:mod:`repro.kvstore.wal`, :mod:`repro.kvstore.recovery`)
 picks up the pieces.
+
+Crashes are only half the story: gray failures (:class:`SlowServer`
+latency, :class:`IntermittentError` flapping) exercise the request
+resilience layer — deadlines, retries, circuit breakers, partial
+results — under servers that are sick rather than dead.
 """
 
-from repro.faults.plan import CorruptionMode, FaultPlan, KillServer
+from repro.faults.plan import (
+    CorruptionMode,
+    FaultPlan,
+    IntermittentError,
+    KillServer,
+    SlowServer,
+)
 from repro.faults.injector import FaultInjector
 
-__all__ = ["CorruptionMode", "FaultPlan", "KillServer", "FaultInjector"]
+__all__ = ["CorruptionMode", "FaultPlan", "IntermittentError",
+           "KillServer", "SlowServer", "FaultInjector"]

@@ -5,13 +5,26 @@ operation; the injector advances its deterministic schedule and crashes
 servers through :meth:`KVStore.crash_server` when a fault fires.  Two
 runs with the same plan (same seed) inject the exact same faults at the
 exact same operations.
+
+Gray failures hook in one level lower: the store calls
+:meth:`FaultInjector.on_region_op` each time an operation touches a
+region, and active :class:`~repro.faults.plan.SlowServer` /
+:class:`~repro.faults.plan.IntermittentError` faults on that region's
+server charge seeded latency to the request context or raise seeded
+intermittent :class:`~repro.errors.RegionUnavailableError`\\ s.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro.faults.plan import FaultPlan, KillServer
+from repro.errors import RegionUnavailableError
+from repro.faults.plan import (
+    FaultPlan,
+    IntermittentError,
+    KillServer,
+    SlowServer,
+)
 
 
 class FaultInjector:
@@ -21,8 +34,17 @@ class FaultInjector:
         self.plan = plan
         self.op_count = 0
         self.fired: list[KillServer] = []
-        self._pending: list[KillServer] = list(plan.faults)
+        self._pending: list[KillServer] = [
+            f for f in plan.faults if isinstance(f, KillServer)]
+        self.gray_faults = tuple(
+            f for f in plan.faults if not isinstance(f, KillServer))
         self._rng = random.Random(plan.seed)
+        # Gray-fault bookkeeping: a separate seeded stream keeps kill
+        # schedules reproducible whether or not gray faults also fire.
+        self._gray_rng = random.Random((plan.seed << 1) ^ 0x5EED)
+        self.region_op_count = 0
+        self.slow_ms_injected = 0.0
+        self.errors_injected = 0
 
     def attach(self, store) -> "FaultInjector":
         """Install this injector on ``store`` and return it."""
@@ -52,3 +74,44 @@ class FaultInjector:
         if fault.after_ops is not None:
             return self.op_count >= fault.after_ops
         return self._rng.random() < fault.probability
+
+    # -- gray failures -------------------------------------------------------
+    def on_region_op(self, store, table: str, region, op: str,
+                     ctx=None) -> None:
+        """One operation touched ``region``; apply active gray faults.
+
+        Slow-server latency is charged to ``ctx`` (deadline + job) when
+        a request context is present; intermittent errors raise
+        regardless, since a flapping server fails legacy callers too.
+        """
+        if not self.gray_faults:
+            return
+        self.region_op_count += 1
+        for fault in self.gray_faults:
+            if fault.server != region.server or op not in fault.ops:
+                continue
+            if not self._gray_active(fault):
+                continue
+            if isinstance(fault, SlowServer):
+                latency = fault.latency_ms
+                if fault.jitter_ms:
+                    latency += self._gray_rng.random() * fault.jitter_ms
+                self.slow_ms_injected += latency
+                if ctx is not None:
+                    ctx.charge(latency, label="gray_latency")
+            elif isinstance(fault, IntermittentError):
+                if self._gray_rng.random() < fault.probability:
+                    self.errors_injected += 1
+                    raise RegionUnavailableError(
+                        table, region.region_id, region.server,
+                        reason=f"intermittent fault on region server "
+                               f"{region.server}")
+
+    def _gray_active(self, fault) -> bool:
+        count = self.region_op_count
+        if count <= fault.after_ops:
+            return False
+        if fault.duration_ops is not None and \
+                count > fault.after_ops + fault.duration_ops:
+            return False
+        return True

@@ -6,6 +6,13 @@ operation, or with probability p per operation under a fixed seed.  Log
 corruption modes model the two classic ways a write-ahead log lies
 after a crash: a torn tail (the final record was mid-write) and delayed
 writes (the disk cache acknowledged records that never hit the platter).
+
+Beyond fail-stop crashes, a plan can schedule *gray failures* — the
+server is up but misbehaving, the production failure mode crash tests
+miss: :class:`SlowServer` adds seeded per-operation latency on the
+simulated clock (a saturated disk, a GC-pausing JVM), and
+:class:`IntermittentError` makes a server's regions fail a seeded
+fraction of operations (a flapping network, a half-dead disk).
 """
 
 from __future__ import annotations
@@ -64,11 +71,77 @@ class KillServer:
         return 0
 
 
+#: Region-level operations gray faults can target by default.
+GRAY_OPS = ("get", "put", "scan")
+
+
+@dataclass(frozen=True, slots=True)
+class SlowServer:
+    """Gray failure: every operation on one server pays extra latency.
+
+    The latency is simulated-clock milliseconds charged to the active
+    request's deadline/job (``latency_ms`` plus a seeded uniform draw
+    from ``[0, jitter_ms)``), so a slow server inflates statement tail
+    latency exactly the way a saturated region server would.  The fault
+    activates after ``after_ops`` region operations and, when
+    ``duration_ops`` is set, heals after that many more.
+    """
+
+    server: int
+    latency_ms: float
+    jitter_ms: float = 0.0
+    after_ops: int = 0
+    duration_ops: int | None = None
+    ops: tuple[str, ...] = GRAY_OPS
+
+    def __post_init__(self):
+        if self.latency_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("latency_ms and jitter_ms must be >= 0")
+        if self.after_ops < 0:
+            raise ValueError("after_ops must be >= 0")
+        if self.duration_ops is not None and self.duration_ops < 1:
+            raise ValueError("duration_ops must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class IntermittentError:
+    """Gray failure: a server's regions fail a fraction of operations.
+
+    Each targeted operation independently raises
+    :class:`~repro.errors.RegionUnavailableError` with ``probability``
+    (seeded, deterministic for a fixed op sequence) — a flapping server
+    that clients must retry around, back off from, and eventually
+    circuit-break on.  Activation window as in :class:`SlowServer`.
+    """
+
+    server: int
+    probability: float
+    after_ops: int = 0
+    duration_ops: int | None = None
+    ops: tuple[str, ...] = GRAY_OPS
+
+    def __post_init__(self):
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if self.after_ops < 0:
+            raise ValueError("after_ops must be >= 0")
+        if self.duration_ops is not None and self.duration_ops < 1:
+            raise ValueError("duration_ops must be >= 1")
+
+
+#: Gray-failure fault types (server stays up; behaviour degrades).
+GRAY_FAULTS = (SlowServer, IntermittentError)
+
+
 @dataclass(frozen=True, slots=True)
 class FaultPlan:
-    """A seeded schedule of faults for one store's lifetime."""
+    """A seeded schedule of faults for one store's lifetime.
 
-    faults: tuple[KillServer, ...] = ()
+    ``faults`` may mix fail-stop :class:`KillServer` entries with gray
+    :class:`SlowServer` / :class:`IntermittentError` entries.
+    """
+
+    faults: tuple = ()
     seed: int = 0
     #: Which store operations advance the op counter and can trigger
     #: probabilistic faults ("put" covers deletes too).
@@ -83,3 +156,16 @@ class FaultPlan:
     def kill_after(cls, server: int, ops: int, **kwargs) -> "FaultPlan":
         """Shorthand: kill ``server`` right after the ``ops``-th write."""
         return cls([KillServer(server, after_ops=ops, **kwargs)])
+
+    @classmethod
+    def slow_server(cls, server: int, latency_ms: float,
+                    seed: int = 0, **kwargs) -> "FaultPlan":
+        """Shorthand: one persistently slow region server."""
+        return cls([SlowServer(server, latency_ms, **kwargs)], seed=seed)
+
+    @classmethod
+    def flaky_server(cls, server: int, probability: float,
+                     seed: int = 0, **kwargs) -> "FaultPlan":
+        """Shorthand: one server failing a fraction of operations."""
+        return cls([IntermittentError(server, probability, **kwargs)],
+                   seed=seed)

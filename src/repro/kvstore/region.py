@@ -110,11 +110,17 @@ class Region:
                 return value
         return None
 
+    #: Rows yielded between cooperative deadline checks during a scan.
+    CANCEL_CHECK_ROWS = 128
+
     def scan(self, start: bytes, stop: bytes | None,
-             cache: BlockCache | None):
+             cache: BlockCache | None, ctx=None):
         """Yield live ``(key, value)`` pairs in [start, stop), key-sorted.
 
-        ``stop=None`` means unbounded above.
+        ``stop=None`` means unbounded above.  With a request context the
+        iteration checks the statement deadline every
+        ``CANCEL_CHECK_ROWS`` rows, so a cancelled query stops streaming
+        promptly instead of draining the whole region.
         """
         lo = max(start, self.start_key)
         if stop is None:
@@ -133,10 +139,15 @@ class Region:
             self._stats.record_memstore_read(
                 len(key) + (len(value) if value is not None else 0))
             merged[key] = value
+        yielded = 0
         for key in sorted(merged):
             value = merged[key]
             if value is not None:
                 yield key, value
+                yielded += 1
+                if ctx is not None and \
+                        yielded % self.CANCEL_CHECK_ROWS == 0:
+                    ctx.check(f"region {self.region_id} scan")
 
     # -- sizing --------------------------------------------------------------
     @property

@@ -70,28 +70,47 @@ class KVTable:
     def _mutate(self, key: bytes, value: bytes | None) -> None:
         self._store.tick_faults("put")
         region = self._region_for(key)
-        self._store.check_available(self.name, region)
+        self._store.check_available(self.name, region, "put")
         seqno = self._store.wal_append(region, self.name, key, value)
         region.put(key, value, seqno)
         if region.total_bytes >= self._store.split_bytes:
             self._split(region)
 
-    def get(self, key: bytes) -> bytes | None:
+    def get(self, key: bytes, ctx=None) -> bytes | None:
         self._store.tick_faults("get")
         region = self._region_for(key)
-        self._store.check_available(self.name, region)
+        self._store.check_available(self.name, region, "get", ctx)
         return region.get(key, self._store.cache_for(region.server))
 
-    def scan(self, spec: ScanSpec):
-        """Yield live ``(key, value)`` pairs across regions, key-sorted."""
+    def scan(self, spec: ScanSpec, ctx=None):
+        """Yield live ``(key, value)`` pairs across regions, key-sorted.
+
+        ``ctx`` (a :class:`repro.resilience.RequestContext`) makes the
+        scan deadline-aware — the remaining budget is checked before
+        each region and periodically within one — and enables graceful
+        degradation: in partial-results mode an unavailable (or
+        gray-failing) region is recorded in the context's skipped-region
+        report and the scan continues over the live regions instead of
+        failing all-or-nothing.
+        """
         self._store.tick_faults("scan")
         self._stats.record_scan()
         stop = spec.stop
         remaining = spec.limit
         for region in self._regions_overlapping(spec.start, stop):
-            self._store.check_available(self.name, region)
+            if ctx is not None:
+                ctx.check(f"scan of {self.name!r}")
+            try:
+                self._store.check_available(self.name, region, "scan",
+                                            ctx)
+            except RegionUnavailableError as exc:
+                if ctx is not None and ctx.partial_results:
+                    ctx.record_skip(self.name, region.region_id,
+                                    region.server, str(exc))
+                    continue
+                raise
             cache = self._store.cache_for(region.server)
-            for key, value in region.scan(spec.start, stop, cache):
+            for key, value in region.scan(spec.start, stop, cache, ctx):
                 self._stats.record_result(len(key) + len(value))
                 yield key, value
                 if remaining is not None:
@@ -248,10 +267,21 @@ class KVStore:
             return None
         return wal.append(table, region.region_id, key, value)
 
-    def check_available(self, table: str, region: Region) -> None:
+    def check_available(self, table: str, region: Region,
+                        op: str = "scan", ctx=None) -> None:
+        """Gate one region access: crash-recovery windows and gray faults.
+
+        A region on a crashed-but-not-failed-over server raises
+        :class:`RegionUnavailableError`; an attached fault injector may
+        additionally charge gray-failure latency to ``ctx`` or raise an
+        intermittent per-op error for regions on gray-failing servers.
+        """
         if region.server in self.recovering_servers:
             raise RegionUnavailableError(table, region.region_id,
                                          region.server)
+        if self.fault_injector is not None:
+            self.fault_injector.on_region_op(self, table, region, op,
+                                             ctx)
 
     def sync_wals(self) -> None:
         """Force-sync every server's log (an explicit durability barrier)."""

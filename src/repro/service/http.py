@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 import json
 
-from repro.errors import JustError, SessionError
+from repro.errors import JustError, remote_error
 from repro.geometry.base import Geometry
 from repro.geometry.envelope import Envelope
 from repro.geometry.wkt import from_wkt, to_wkt
@@ -130,10 +130,18 @@ class JustHttpServer:
         return {"error": f"unknown path {path!r}", "kind": "RouteError"}
 
     def _execute(self, request: dict) -> dict:
-        result = self.server.execute(request["session"], request["sql"])
+        kwargs = {}
+        if request.get("timeout_ms") is not None:
+            kwargs["timeout_ms"] = float(request["timeout_ms"])
+        if request.get("partial_results"):
+            kwargs["partial_results"] = True
+        result = self.server.execute(request["session"], request["sql"],
+                                     **kwargs)
         rows = result.rows
         base = {"columns": result.columns,
                 "sim_ms": round(result.sim_ms, 3)}
+        if result.skipped_regions:
+            base["skipped_regions"] = result.skipped_regions
         if len(rows) <= self.page_rows:
             base["rows"] = [encode_row(row) for row in rows]
             return base
@@ -178,18 +186,22 @@ class JustHttpClient:
             {"path": "/connect", "user": self.user})
         return response["session"]
 
-    def execute_query(self, sql: str) -> "HttpResultSet":
-        response = self._transport.handle(
-            {"path": "/execute", "session": self._session, "sql": sql})
+    def execute_query(self, sql: str,
+                      timeout_ms: float | None = None,
+                      partial_results: bool = False) -> "HttpResultSet":
+        request = {"path": "/execute", "session": self._session,
+                   "sql": sql}
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        if partial_results:
+            request["partial_results"] = True
+        response = self._transport.handle(request)
         if response.get("kind") == "SessionError":
             self._session = self._connect()
-            response = self._transport.handle(
-                {"path": "/execute", "session": self._session,
-                 "sql": sql})
+            request["session"] = self._session
+            response = self._transport.handle(request)
         if "error" in response:
-            raise SessionError(response["error"]) \
-                if response.get("kind") == "SessionError" \
-                else _raise_remote(response)
+            _raise_remote(response)
         return HttpResultSet(self._transport, response)
 
     def close(self) -> None:
@@ -204,7 +216,29 @@ class JustHttpClient:
 
 
 def _raise_remote(response: dict):
-    raise JustError(f"[{response.get('kind')}] {response['error']}")
+    """Re-raise a wire error as its typed engine exception.
+
+    The ``kind`` tag maps back onto the :class:`~repro.errors.JustError`
+    hierarchy, so remote callers can distinguish retryable conditions
+    (``RegionUnavailableError``, ``ServerOverloadedError``) from fatal
+    ones exactly like in-process callers; unknown kinds (transport-level
+    ``RouteError``/``HandleError``) degrade to the tagged base error.
+    """
+    kind = response.get("kind", "")
+    if kind == "JustError" or kind not in _KNOWN_KINDS:
+        raise JustError(f"[{kind}] {response['error']}")
+    raise remote_error(kind, response["error"])
+
+
+def _collect_kinds():
+    def walk(cls):
+        yield cls.__name__
+        for sub in cls.__subclasses__():
+            yield from walk(sub)
+    return frozenset(walk(JustError))
+
+
+_KNOWN_KINDS = _collect_kinds()
 
 
 class HttpResultSet:
@@ -218,7 +252,12 @@ class HttpResultSet:
         self._handle = response.get("handle")
         self.total_rows = response.get("total_rows",
                                        len(self._buffer))
+        self.skipped_regions = response.get("skipped_regions", [])
         self._position = 0
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.skipped_regions)
 
     def has_next(self) -> bool:
         if self._position < len(self._buffer):

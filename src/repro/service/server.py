@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.engine import JustEngine
+from repro.resilience import AdmissionController, Deadline, RequestContext
 from repro.service.session import (
     DEFAULT_SESSION_TIMEOUT_S,
     SessionManager,
@@ -18,12 +19,27 @@ class JustServer:
     paper keeps via Spark Job Server: no per-user startup cost.  Every
     statement executes inside the session user's namespace, so users never
     see (or collide with) each other's tables and views.
+
+    Each statement runs under a :class:`~repro.resilience.RequestContext`:
+    an optional deadline (client-supplied ``timeout_ms`` or the server's
+    ``default_timeout_ms``) cancels runaway statements cooperatively, and
+    ``partial_results`` lets degraded scans return live regions' rows plus
+    a skipped-region report instead of failing outright.  An
+    :class:`~repro.resilience.AdmissionController` bounds concurrent
+    statements so an overload sheds load instead of queueing unboundedly.
     """
 
     def __init__(self, engine: JustEngine | None = None,
-                 session_timeout_s: float = DEFAULT_SESSION_TIMEOUT_S):
+                 session_timeout_s: float = DEFAULT_SESSION_TIMEOUT_S,
+                 admission: AdmissionController | None = None,
+                 default_timeout_ms: float | None = None):
         self.engine = engine if engine is not None else JustEngine()
         self.sessions = SessionManager(session_timeout_s)
+        self.admission = admission if admission is not None \
+            else AdmissionController()
+        #: Server-side deadline applied when the client sends none
+        #: (``None`` disables; like ``hbase.client.operation.timeout``).
+        self.default_timeout_ms = default_timeout_ms
 
     def connect(self, user: str) -> str:
         """Open a session for a user; returns the session id."""
@@ -34,11 +50,30 @@ class JustServer:
         if session is not None:
             self._drop_user_views(session)
 
-    def execute(self, session_id: str, statement: str) -> ResultSet:
-        """Run one JustQL statement in the session's namespace."""
+    def execute(self, session_id: str, statement: str,
+                timeout_ms: float | None = None,
+                partial_results: bool = False) -> ResultSet:
+        """Run one JustQL statement in the session's namespace.
+
+        ``timeout_ms`` is the statement's simulated-time budget
+        (falls back to ``default_timeout_ms``); ``partial_results``
+        opts in to degraded scans over unavailable regions.  Raises
+        :class:`~repro.errors.ServerOverloadedError` when admission
+        control sheds the statement.
+        """
         self._expire_stale()
         session = self.sessions.get(session_id)
-        return self.engine.sql(statement, namespace=session.namespace)
+        budget = timeout_ms if timeout_ms is not None \
+            else self.default_timeout_ms
+        ctx = RequestContext(
+            deadline=Deadline(budget) if budget is not None else None,
+            partial_results=partial_results)
+        self.admission.acquire(session.user)
+        try:
+            return self.engine.sql(statement,
+                                   namespace=session.namespace, ctx=ctx)
+        finally:
+            self.admission.release(session.user)
 
     def _expire_stale(self) -> None:
         for session in self.sessions.expire_idle():
@@ -56,3 +91,7 @@ class JustServer:
 
     def active_users(self) -> list[str]:
         return sorted({s.user for s in self.sessions.active_sessions()})
+
+    def admission_stats(self) -> dict:
+        """Operational counters from the admission controller."""
+        return self.admission.stats()

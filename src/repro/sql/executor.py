@@ -25,16 +25,18 @@ from repro.sql.result import ResultSet
 
 
 def execute_statement(engine, statement: str,
-                      namespace: str = "") -> ResultSet:
+                      namespace: str = "", ctx=None) -> ResultSet:
     """Parse and execute one JustQL statement against an engine.
 
     ``namespace`` is the per-user prefix the service layer adds to table
     and view names; it is invisible in the statement text and stripped
-    from listings.
+    from listings.  ``ctx`` (a :class:`repro.resilience.RequestContext`)
+    carries the statement deadline and partial-results flag down into
+    physical execution and the store's region iteration.
     """
     stmt = parse_statement(statement)
     if isinstance(stmt, SelectStmt):
-        return _run_select(engine, stmt, namespace)
+        return _run_select(engine, stmt, namespace, ctx)
     if isinstance(stmt, ExplainStmt):
         plan = optimize(analyze_select(engine, stmt.select, namespace))
         rows = [{"plan": line} for line in plan.pretty().splitlines()]
@@ -42,7 +44,7 @@ def execute_statement(engine, statement: str,
     if isinstance(stmt, CreateTableStmt):
         return _run_create_table(engine, stmt, namespace)
     if isinstance(stmt, CreateViewStmt):
-        return _run_create_view(engine, stmt, namespace)
+        return _run_create_view(engine, stmt, namespace, ctx)
     if isinstance(stmt, StoreViewStmt):
         engine.store_view_to_table(namespace + stmt.view,
                                    namespace + stmt.table)
@@ -59,21 +61,27 @@ def execute_statement(engine, statement: str,
     if isinstance(stmt, DescStmt):
         return _run_desc(engine, stmt, namespace)
     if isinstance(stmt, InsertStmt):
-        return _run_insert(engine, stmt, namespace)
+        return _run_insert(engine, stmt, namespace, ctx)
     if isinstance(stmt, LoadStmt):
-        return _run_load(engine, stmt, namespace)
+        return _run_load(engine, stmt, namespace, ctx)
     raise ExecutionError(f"unhandled statement {type(stmt).__name__}")
 
 
 # -- SELECT -----------------------------------------------------------------------
 
-def _run_select(engine, stmt: SelectStmt, namespace: str) -> ResultSet:
+def _run_select(engine, stmt: SelectStmt, namespace: str,
+                ctx=None) -> ResultSet:
     plan = analyze_select(engine, stmt, namespace)
     plan = optimize(plan)
     job = engine.cluster.job()
+    if ctx is not None:
+        ctx.bind(job)
     job.charge_fixed("driver", engine.cluster.model.query_overhead_ms)
-    df = execute_plan(plan, engine, job)
-    return ResultSet.from_dataframe(df, job)
+    df = execute_plan(plan, engine, job, ctx)
+    result = ResultSet.from_dataframe(df, job)
+    if ctx is not None and ctx.skipped:
+        result.skipped_regions = ctx.skipped_report
+    return result
 
 
 def explain(engine, statement: str, namespace: str = "") -> str:
@@ -101,11 +109,13 @@ def _run_create_table(engine, stmt: CreateTableStmt,
 
 
 def _run_create_view(engine, stmt: CreateViewStmt,
-                     namespace: str) -> ResultSet:
+                     namespace: str, ctx=None) -> ResultSet:
     plan = optimize(analyze_select(engine, stmt.select, namespace))
     job = engine.cluster.job()
+    if ctx is not None:
+        ctx.bind(job)
     job.charge_fixed("driver", engine.cluster.model.query_overhead_ms)
-    df = execute_plan(plan, engine, job)
+    df = execute_plan(plan, engine, job, ctx)
     engine.create_view(namespace + stmt.name, df,
                        owner=namespace or None)
     return ResultSet.status(f"view {stmt.name} created "
@@ -134,7 +144,8 @@ def _run_desc(engine, stmt: DescStmt, namespace: str) -> ResultSet:
 
 # -- DML ------------------------------------------------------------------------------
 
-def _run_insert(engine, stmt: InsertStmt, namespace: str) -> ResultSet:
+def _run_insert(engine, stmt: InsertStmt, namespace: str,
+                ctx=None) -> ResultSet:
     name = namespace + stmt.table
     table = engine.table(name)
     columns = stmt.columns or table.schema.names
@@ -149,13 +160,22 @@ def _run_insert(engine, stmt: InsertStmt, namespace: str) -> ResultSet:
             row[column] = eval_expr(expr, {})
         rows.append(row)
     result = engine.insert(name, rows)
+    if ctx is not None:
+        # Writes consume deadline budget too (a slow ingest times out);
+        # binding after the fact charges the job's accumulated cost once.
+        ctx.bind(result.job)
+        ctx.charge(0.0, label="driver")
     return ResultSet.status(f"{len(rows)} rows inserted", result.job)
 
 
-def _run_load(engine, stmt: LoadStmt, namespace: str) -> ResultSet:
+def _run_load(engine, stmt: LoadStmt, namespace: str,
+              ctx=None) -> ResultSet:
     row_filter, limit = _parse_load_filter(stmt.filter_text)
     result = engine.load(stmt.source, namespace + stmt.table, stmt.config,
                          row_filter, limit)
+    if ctx is not None:
+        ctx.bind(result.job)
+        ctx.charge(0.0, label="driver")
     return ResultSet.status(
         f"{result.extra['loaded']} rows loaded into {stmt.table}",
         result.job)

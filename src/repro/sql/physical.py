@@ -63,40 +63,48 @@ class _ScanPredicates:
     residual: list[Expr] | None = None
 
 
-def execute_plan(plan: LogicalNode, engine, job) -> DataFrame:
-    """Evaluate a logical plan to a DataFrame, charging ``job``."""
+def execute_plan(plan: LogicalNode, engine, job, ctx=None) -> DataFrame:
+    """Evaluate a logical plan to a DataFrame, charging ``job``.
+
+    ``ctx`` (a :class:`repro.resilience.RequestContext`) is checked at
+    node boundaries — a statement past its deadline cancels between
+    operators rather than running to completion — and reaches the store
+    through the scan node.
+    """
+    if ctx is not None:
+        ctx.check(f"{type(plan).__name__} boundary")
     if isinstance(plan, ScanNode):
-        return _execute_scan(plan, engine, job)
+        return _execute_scan(plan, engine, job, ctx)
     if isinstance(plan, ViewScanNode):
         return _execute_view_scan(plan, engine, job)
     if isinstance(plan, FilterNode):
-        child = execute_plan(plan.child, engine, job)
+        child = execute_plan(plan.child, engine, job, ctx)
         job.charge_cpu_records(child.count())
         extra = _extra_functions(engine)
         return child.where(
             lambda row: eval_expr(plan.predicate, row, extra) is True)
     if isinstance(plan, ProjectNode):
-        return _execute_project(plan, engine, job)
+        return _execute_project(plan, engine, job, ctx)
     if isinstance(plan, AggregateNode):
-        return _execute_aggregate(plan, engine, job)
+        return _execute_aggregate(plan, engine, job, ctx)
     if isinstance(plan, SortNode):
-        return _execute_sort(plan, engine, job)
+        return _execute_sort(plan, engine, job, ctx)
     if isinstance(plan, LimitNode):
-        child = execute_plan(plan.child, engine, job)
+        child = execute_plan(plan.child, engine, job, ctx)
         return child.limit(plan.limit)
     if isinstance(plan, DistinctNode):
-        child = execute_plan(plan.child, engine, job)
+        child = execute_plan(plan.child, engine, job, ctx)
         job.charge_cpu_records(child.count())
         return child.distinct()
     if isinstance(plan, JoinNode):
-        return _execute_join(plan, engine, job)
+        return _execute_join(plan, engine, job, ctx)
     raise ExecutionError(f"cannot execute plan node {type(plan).__name__}")
 
 
-def _execute_join(plan: JoinNode, engine, job) -> DataFrame:
+def _execute_join(plan: JoinNode, engine, job, ctx=None) -> DataFrame:
     """Hash equi-join (a shuffle + build/probe in Spark terms)."""
-    left = execute_plan(plan.left, engine, job)
-    right = execute_plan(plan.right, engine, job)
+    left = execute_plan(plan.left, engine, job, ctx)
+    right = execute_plan(plan.right, engine, job, ctx)
     job.charge_cpu_records(left.count() + right.count(),
                            us_per_record=3.0)
     if plan.right_column != plan.left_column:
@@ -130,7 +138,7 @@ def _execute_view_scan(plan: ViewScanNode, engine, job) -> DataFrame:
     return df
 
 
-def _execute_scan(plan: ScanNode, engine, job) -> DataFrame:
+def _execute_scan(plan: ScanNode, engine, job, ctx=None) -> DataFrame:
     table = engine.table(plan.table_name)
     preds = _classify_conjuncts(plan.pushed_filter, table)
     extra = _extra_functions(engine)
@@ -140,20 +148,20 @@ def _execute_scan(plan: ScanNode, engine, job) -> DataFrame:
         result = knn_query(table, point.lng, point.lat, k, job)
         rows = result.rows
     elif preds.fid is not None:
-        row = table.get(str(preds.fid))
+        row = table.get(str(preds.fid), ctx)
         job.charge_cpu_records(1)
         rows = [row] if row is not None else []
     elif preds.attr is not None and preds.envelope is None \
             and preds.t_min is None:
         field_name, value = preds.attr
-        rows = table.attribute_query(field_name, value, job)
+        rows = table.attribute_query(field_name, value, job, ctx)
     elif preds.envelope is not None or preds.t_min is not None:
         query = STQuery(preds.envelope, preds.t_min, preds.t_max)
         if preds.t_min is not None and preds.t_max is None:
             query = STQuery(preds.envelope, preds.t_min, float("inf"))
-        rows = table.query(query, preds.spatial_mode, job)
+        rows = table.query(query, preds.spatial_mode, job, ctx=ctx)
     else:
-        rows = table.full_scan(job)
+        rows = table.full_scan(job, ctx)
 
     if preds.residual:
         job.charge_cpu_records(len(rows))
@@ -313,8 +321,8 @@ def _is_fid(conjunct: Expr, pk_name: str | None,
 
 # -- projections (including 1-N and N-M operations) ------------------------------
 
-def _execute_project(plan: ProjectNode, engine, job) -> DataFrame:
-    child = execute_plan(plan.child, engine, job)
+def _execute_project(plan: ProjectNode, engine, job, ctx=None) -> DataFrame:
+    child = execute_plan(plan.child, engine, job, ctx)
     extra = _extra_functions(engine)
     job.charge_cpu_records(child.count())
 
@@ -400,8 +408,9 @@ def _execute_dbscan(plan: ProjectNode, child: DataFrame, nm_item,
 
 # -- aggregation / sorting ----------------------------------------------------------
 
-def _execute_aggregate(plan: AggregateNode, engine, job) -> DataFrame:
-    child = execute_plan(plan.child, engine, job)
+def _execute_aggregate(plan: AggregateNode, engine, job,
+                       ctx=None) -> DataFrame:
+    child = execute_plan(plan.child, engine, job, ctx)
     extra = _extra_functions(engine)
     job.charge_cpu_records(child.count(), us_per_record=4.0)
 
@@ -430,8 +439,8 @@ def _execute_aggregate(plan: AggregateNode, engine, job) -> DataFrame:
     return prepared.group_by(group_names, specs)
 
 
-def _execute_sort(plan: SortNode, engine, job) -> DataFrame:
-    child = execute_plan(plan.child, engine, job)
+def _execute_sort(plan: SortNode, engine, job, ctx=None) -> DataFrame:
+    child = execute_plan(plan.child, engine, job, ctx)
     extra = _extra_functions(engine)
     job.charge_cpu_records(child.count(), us_per_record=3.0)
     key_names = []

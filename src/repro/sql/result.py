@@ -32,6 +32,9 @@ class ResultSet:
         self.message = message
         self._chunk_index = 0
         self._row_index = 0
+        #: Regions a partial-results scan skipped (list of dicts with
+        #: table/region_id/server/reason); empty for complete results.
+        self.skipped_regions: list[dict] = []
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -100,6 +103,11 @@ class ResultSet:
     @property
     def num_chunks(self) -> int:
         return len(self._chunks)
+
+    @property
+    def is_partial(self) -> bool:
+        """True when a partial-results scan skipped unavailable regions."""
+        return bool(self.skipped_regions)
 
     def __repr__(self) -> str:
         return (f"ResultSet({len(self)} rows, {self.num_chunks} chunks, "

@@ -126,8 +126,42 @@ class TestClientRetry:
                             backoff_base_ms=10.0, sleep=delays.append)
         assert client.execute_query("SELECT 1") == "ok after 3"
         assert client.retries_attempted == 2
-        # Exponential backoff: 10ms then 20ms (in seconds).
+        # Equal jitter draws each delay from [cap/2, cap) where the caps
+        # double: 10ms then 20ms (in seconds).
+        assert len(delays) == 2
+        assert 0.005 <= delays[0] < 0.01
+        assert 0.01 <= delays[1] < 0.02
+
+    def test_unjittered_backoff_is_exact(self):
+        delays = []
+        server = self.FlakyServer(failures=2)
+        client = JustClient(server, "alice", max_retries=4,
+                            backoff_base_ms=10.0, jitter_seed=None,
+                            sleep=delays.append)
+        client.execute_query("SELECT 1")
         assert delays == [0.01, 0.02]
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        def run(seed):
+            delays = []
+            client = JustClient(self.FlakyServer(failures=2), "alice",
+                                jitter_seed=seed, sleep=delays.append)
+            client.execute_query("SELECT 1")
+            return delays
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_backoff_is_capped(self):
+        from repro.resilience import CircuitBreaker
+        delays = []
+        server = self.FlakyServer(failures=6)
+        client = JustClient(server, "alice", max_retries=6,
+                            backoff_base_ms=10.0, backoff_max_ms=40.0,
+                            jitter_seed=None, sleep=delays.append,
+                            breaker=CircuitBreaker(failure_threshold=20))
+        client.execute_query("SELECT 1")
+        # 10, 20, 40, then capped at 40 forever.
+        assert delays == [0.01, 0.02, 0.04, 0.04, 0.04, 0.04]
 
     def test_raises_after_retry_budget(self):
         server = self.FlakyServer(failures=10)
