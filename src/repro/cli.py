@@ -18,6 +18,10 @@ Request-resilience demo (deadlines/partial results vs a sick server)::
 
     python -m repro resilience --fault flaky --queries 50
 
+Observability demo (metrics registry, EXPLAIN ANALYZE, slow-query log)::
+
+    python -m repro metrics --rows 2000 --repeat 5
+
 The shell keeps one engine (and one user session) for its lifetime, prints
 result sets as aligned tables, and reports each query's simulated
 latency.  ``--user`` picks the namespace; multiple shells could share an
@@ -159,6 +163,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if argv and argv[0] == "resilience":
         from repro.faults.resilience_demo import main as resilience_main
         return resilience_main(argv[1:], out=out)
+    if argv and argv[0] == "metrics":
+        from repro.observability.demo import main as metrics_main
+        return metrics_main(argv[1:], out=out)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="JustQL shell for the JUST reproduction engine.")

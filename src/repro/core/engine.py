@@ -82,7 +82,17 @@ class JustEngine:
                  wal_policy=None,
                  split_bytes: int | None = None,
                  flush_bytes: int | None = None):
-        store_kwargs = {"cache_bytes_per_server": cache_bytes_per_server}
+        #: Process-wide observability registry: the store's I/O stats,
+        #: the SQL operators, and the service layer all report into it.
+        from repro.observability.metrics import MetricsRegistry
+        self.metrics = MetricsRegistry()
+        self.cluster = Cluster(num_servers, memory_budget_bytes, cost_model)
+        store_kwargs = {"cache_bytes_per_server": cache_bytes_per_server,
+                        "metrics": self.metrics,
+                        # The store shares the cluster's cost model so
+                        # kvstore-level trace spans (per-region scans)
+                        # can estimate simulated time.
+                        "cost_model": self.cluster.model}
         if block_bytes is not None:
             store_kwargs["block_bytes"] = block_bytes
         if split_bytes is not None:
@@ -95,9 +105,7 @@ class JustEngine:
             # Durable ingest: every region server keeps a write-ahead log
             # and the store survives injected region-server crashes.
             store_kwargs["wal_policy"] = wal_policy
-            store_kwargs["cost_model"] = cost_model
         self.store = KVStore(num_servers, **store_kwargs)
-        self.cluster = Cluster(num_servers, memory_budget_bytes, cost_model)
         self.catalog = Catalog()
         self.sources = SourceRegistry()
         self.compression_enabled = compression_enabled

@@ -18,6 +18,11 @@ class BlockCache:
         self.capacity_bytes = capacity_bytes
         self._entries: OrderedDict[tuple, int] = OrderedDict()
         self._used = 0
+        #: Bytes dropped by LRU pressure vs. explicit invalidation —
+        #: separated so the observability layer can tell a hot cache
+        #: (evictions) from compaction churn (invalidations).
+        self.evicted_bytes = 0
+        self.invalidated_bytes = 0
 
     def contains(self, key: tuple) -> bool:
         """True on cache hit; refreshes the entry's recency."""
@@ -35,15 +40,29 @@ class BlockCache:
         while self._used + nbytes > self.capacity_bytes and self._entries:
             _, evicted = self._entries.popitem(last=False)
             self._used -= evicted
+            self.evicted_bytes += evicted
         self._entries[key] = nbytes
         self._used += nbytes
 
-    def invalidate_prefix(self, prefix: tuple) -> None:
-        """Drop every block whose key starts with ``prefix``."""
+    def invalidate_prefix(self, prefix: tuple) -> int:
+        """Drop every block whose key starts with ``prefix``.
+
+        Called when an SSTable dies (compaction, split, table drop,
+        failover): its cached blocks would otherwise hold budget forever
+        and push live blocks out.  Returns the bytes released.
+        """
         stale = [k for k in self._entries
                  if k[:len(prefix)] == prefix]
+        released = 0
         for key in stale:
-            self._used -= self._entries.pop(key)
+            released += self._entries.pop(key)
+        self._used -= released
+        self.invalidated_bytes += released
+        return released
+
+    def invalidate_sstable(self, sstable_id: int) -> int:
+        """Drop every cached block of one SSTable."""
+        return self.invalidate_prefix(("sst", sstable_id))
 
     def clear(self) -> None:
         self._entries.clear()

@@ -56,6 +56,11 @@ def recover_server(store, server: int,
             region.memstore.clear()  # the server's RAM is gone
             region.server = store.next_server()
             region.wal = store.wal_for(region.server)
+            # The destination server starts with a cold view of this
+            # region: drop any blocks its cache may hold for the
+            # region's SSTables (the dead server's cache was already
+            # cleared wholesale at crash time).
+            region.evict_cached_blocks()
             # Sequence numbers are per-server, so the dead server's high
             # watermark means nothing to the destination WAL — left in
             # place it would checkpoint the new log above seqnos it has

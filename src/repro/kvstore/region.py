@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 import itertools
 
 from repro.kvstore.blockcache import BlockCache
@@ -32,7 +33,8 @@ class Region:
                  stats: IOStats, server: int = 0,
                  flush_bytes: int = DEFAULT_FLUSH_BYTES,
                  block_bytes: int = DEFAULT_BLOCK_BYTES,
-                 wal: WriteAheadLog | None = None):
+                 wal: WriteAheadLog | None = None,
+                 cache_lookup=None):
         self.region_id = next(_REGION_IDS)
         self.start_key = start_key
         self.end_key = end_key
@@ -41,6 +43,11 @@ class Region:
         self._flush_bytes = flush_bytes
         self._block_bytes = block_bytes
         self.wal = wal
+        #: ``server -> BlockCache | None``; lets the region evict dead
+        #: SSTables' blocks when compaction/split/failover retires them.
+        #: Without it (standalone regions in tests) nothing is evicted,
+        #: matching the store-less construction signature.
+        self.cache_lookup = cache_lookup
         #: Highest WAL sequence number absorbed into this region.
         self.max_seqno = 0
         self.memstore = MemStore()
@@ -84,7 +91,13 @@ class Region:
             self.compact()
 
     def compact(self) -> None:
-        """Merge all runs into one, dropping masked values and tombstones."""
+        """Merge all runs into one, dropping masked values and tombstones.
+
+        The replaced runs' cached blocks are invalidated: left behind
+        they would hold cache budget as dead weight, evicting live
+        blocks and corrupting the cache-hit metrics (an HBase compaction
+        likewise drops the old HFiles' blocks from the block cache).
+        """
         if len(self.sstables) <= 1:
             return
         merged: dict[bytes, bytes | None] = {}
@@ -95,7 +108,24 @@ class Region:
                 merged[key] = value
         self._stats.record_disk_read(read_bytes, self.server)
         live = [(k, v) for k, v in sorted(merged.items()) if v is not None]
+        self.evict_cached_blocks()
         self.sstables = [SSTable(live, self._stats, self._block_bytes)]
+
+    def evict_cached_blocks(self,
+                            sstables: list[SSTable] | None = None) -> int:
+        """Invalidate cached blocks of ``sstables`` (default: all runs).
+
+        Returns the bytes released; 0 without a cache lookup.
+        """
+        if self.cache_lookup is None:
+            return 0
+        cache = self.cache_lookup(self.server)
+        if cache is None:
+            return 0
+        released = 0
+        for sstable in (self.sstables if sstables is None else sstables):
+            released += cache.invalidate_sstable(sstable.sstable_id)
+        return released
 
     # -- read path -----------------------------------------------------------
     def get(self, key: bytes, cache: BlockCache | None) -> bytes | None:
@@ -117,10 +147,14 @@ class Region:
              cache: BlockCache | None, ctx=None):
         """Yield live ``(key, value)`` pairs in [start, stop), key-sorted.
 
-        ``stop=None`` means unbounded above.  With a request context the
-        iteration checks the statement deadline every
-        ``CANCEL_CHECK_ROWS`` rows, so a cancelled query stops streaming
-        promptly instead of draining the whole region.
+        ``stop=None`` means unbounded above.  The merge is streaming: a
+        ``heapq.merge`` over the SSTable runs and the memstore, with
+        newest-wins precedence per key, so memory stays bounded by the
+        merge frontier, SSTable blocks are only charged as the merge
+        reaches them (an early ``LIMIT`` or cancellation stops paying
+        for blocks it never needed), and the deadline is checked every
+        ``CANCEL_CHECK_ROWS`` *merged* entries — a cancelled query
+        aborts mid-merge instead of after materializing the region.
         """
         lo = max(start, self.start_key)
         if stop is None:
@@ -131,23 +165,40 @@ class Region:
             hi = min(stop, self.end_key)
         if hi is not None and hi <= lo:
             return
-        merged: dict[bytes, bytes | None] = {}
-        for sstable in self.sstables:  # oldest first
-            for key, value in sstable.scan(lo, hi, cache, self.server):
-                merged[key] = value
+        # Rank 0 is the memstore (newest); SSTables count up from the
+        # newest run.  Streams yield (key, rank, value): merge order is
+        # (key, rank), so for equal keys the newest version comes first
+        # and later (older) versions are skipped.  Ranks are unique per
+        # stream, so tuple comparison never reaches the values.
+        newest = len(self.sstables)
+        streams = [self._ranked_sstable_stream(sstable, newest - i,
+                                               lo, hi, cache)
+                   for i, sstable in enumerate(self.sstables)]
+        streams.append(self._ranked_memstore_stream(lo, hi))
+        previous: bytes | None = None
+        processed = 0
+        for key, _rank, value in heapq.merge(*streams):
+            processed += 1
+            if ctx is not None and \
+                    processed % self.CANCEL_CHECK_ROWS == 0:
+                ctx.check(f"region {self.region_id} scan")
+            if key == previous:
+                continue  # an older version masked by a newer write
+            previous = key
+            if value is not None:  # tombstones yield nothing
+                yield key, value
+
+    def _ranked_sstable_stream(self, sstable: SSTable, rank: int,
+                               lo: bytes, hi: bytes | None,
+                               cache: BlockCache | None):
+        for key, value in sstable.scan(lo, hi, cache, self.server):
+            yield key, rank, value
+
+    def _ranked_memstore_stream(self, lo: bytes, hi: bytes | None):
         for key, value in self.memstore.scan(lo, hi):
             self._stats.record_memstore_read(
                 len(key) + (len(value) if value is not None else 0))
-            merged[key] = value
-        yielded = 0
-        for key in sorted(merged):
-            value = merged[key]
-            if value is not None:
-                yield key, value
-                yielded += 1
-                if ctx is not None and \
-                        yielded % self.CANCEL_CHECK_ROWS == 0:
-                    ctx.check(f"region {self.region_id} scan")
+            yield key, 0, value
 
     # -- sizing --------------------------------------------------------------
     @property

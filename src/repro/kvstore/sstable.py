@@ -60,6 +60,10 @@ class SSTable:
         return len(self._keys)
 
     @property
+    def num_blocks(self) -> int:
+        return len(self._block_sizes)
+
+    @property
     def first_key(self) -> bytes | None:
         return self._keys[0] if self._keys else None
 

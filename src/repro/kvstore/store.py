@@ -37,7 +37,8 @@ class KVTable:
                        server=server,
                        flush_bytes=store.flush_bytes,
                        block_bytes=store.block_bytes,
-                       wal=store.wal_for(server))
+                       wal=store.wal_for(server),
+                       cache_lookup=store.cache_for)
         self._regions: list[Region] = [first]
         # _region_starts[i] == _regions[i].start_key, kept sorted for routing
         self._region_starts: list[bytes] = [b""]
@@ -97,6 +98,8 @@ class KVTable:
         self._stats.record_scan()
         stop = spec.stop
         remaining = spec.limit
+        profile = getattr(ctx, "profile", None) if ctx is not None \
+            else None
         for region in self._regions_overlapping(spec.start, stop):
             if ctx is not None:
                 ctx.check(f"scan of {self.name!r}")
@@ -110,13 +113,59 @@ class KVTable:
                     continue
                 raise
             cache = self._store.cache_for(region.server)
-            for key, value in region.scan(spec.start, stop, cache, ctx):
-                self._stats.record_result(len(key) + len(value))
-                yield key, value
-                if remaining is not None:
-                    remaining -= 1
-                    if remaining <= 0:
-                        return
+            before = self._stats.snapshot() if profile is not None \
+                else None
+            region_rows = 0
+            try:
+                for key, value in region.scan(spec.start, stop, cache,
+                                              ctx):
+                    self._stats.record_result(len(key) + len(value))
+                    region_rows += 1
+                    yield key, value
+                    if remaining is not None:
+                        remaining -= 1
+                        if remaining <= 0:
+                            return
+            finally:
+                if profile is not None:
+                    self._record_region_span(profile, region, before,
+                                             region_rows)
+
+    def _record_region_span(self, profile, region, before,
+                            region_rows: int) -> None:
+        """Merge one region visit into the trace's per-region scan span.
+
+        An index query scans many key ranges, each visiting the same
+        regions; one span per (table, region) under the current operator
+        keeps the trace readable — counts accumulate across ranges.
+        """
+        delta = self._stats.snapshot().delta(before)
+        span = None
+        for child in profile.current.children:
+            if child.kind == "region_scan" and \
+                    child.attrs.get("table") == self.name and \
+                    child.attrs.get("region") == region.region_id:
+                span = child
+                break
+        if span is None:
+            span = profile.add_event(
+                f"RegionScan[{self.name} r{region.region_id} "
+                f"s{region.server}]",
+                kind="region_scan", table=self.name,
+                region=region.region_id, server=region.server,
+                rows=0, blocks_read=0, cache_hits=0, disk_bytes_read=0,
+                ranges=0)
+        span.attrs["rows"] += region_rows
+        span.attrs["blocks_read"] += delta.blocks_read
+        span.attrs["cache_hits"] += delta.cache_hits
+        span.attrs["disk_bytes_read"] += delta.disk_bytes_read
+        span.attrs["ranges"] += 1
+        model = self._store.cost_model
+        if model is not None:
+            span.sim_ms += (
+                model.disk_read_ms(delta.disk_bytes_read)
+                + model.memory_scan_ms(delta.cache_bytes_read
+                                       + delta.memstore_bytes_read))
 
     def flush(self) -> None:
         """Flush every region's memstore (used before size measurements)."""
@@ -142,12 +191,14 @@ class KVTable:
                       server=left_server,
                       flush_bytes=self._store.flush_bytes,
                       block_bytes=self._store.block_bytes,
-                      wal=self._store.wal_for(left_server))
+                      wal=self._store.wal_for(left_server),
+                      cache_lookup=self._store.cache_for)
         right = Region(split_key, region.end_key, self._stats,
                        server=right_server,
                        flush_bytes=self._store.flush_bytes,
                        block_bytes=self._store.block_bytes,
-                       wal=self._store.wal_for(right_server))
+                       wal=self._store.wal_for(right_server),
+                       cache_lookup=self._store.cache_for)
         # An HBase split creates reference files rather than rewriting
         # data, so the daughters' SSTables are built without write charges.
         left.sstables = [SSTable(entries[:mid], self._stats,
@@ -157,7 +208,9 @@ class KVTable:
                                   self._store.block_bytes,
                                   charge_write=False)]
         # Every parent entry (memstore included) is now persisted in the
-        # daughters' SSTables, so the parent's log records are obsolete.
+        # daughters' SSTables, so the parent's log records are obsolete —
+        # and so are its SSTables' cached blocks.
+        region.evict_cached_blocks()
         if region.wal is not None:
             region.wal.retire_region(region.region_id)
         index = self._regions.index(region)
@@ -203,12 +256,13 @@ class KVStore:
                  wal_policy: SyncPolicy | None = None,
                  wal_periodic_bytes: int = DEFAULT_PERIODIC_BYTES,
                  cost_model=None,
-                 fault_injector=None):
+                 fault_injector=None,
+                 metrics=None):
         self.num_servers = num_servers
         self.flush_bytes = flush_bytes
         self.split_bytes = split_bytes
         self.block_bytes = block_bytes
-        self.stats = IOStats()
+        self.stats = IOStats(metrics=metrics)
         self.wal_policy = wal_policy
         self.cost_model = cost_model
         self.fault_injector = fault_injector
@@ -358,6 +412,7 @@ class KVStore:
         if name not in self._tables:
             raise TableNotFoundError(name)
         for region in self._tables[name]._regions:
+            region.evict_cached_blocks()
             if region.wal is not None:
                 region.wal.retire_region(region.region_id)
         del self._tables[name]

@@ -1,0 +1,40 @@
+"""Query-level observability (the ops layer the paper's evaluation implies).
+
+The paper evaluates JUST through per-query latency and I/O breakdowns
+(Sections VI-B–VI-D); reproducing those figures credibly needs the same
+instrumentation a production HBase/Spark deployment would have:
+
+* :class:`~repro.observability.metrics.MetricsRegistry` — process-wide
+  counters, gauges, and quantile histograms that the key-value store,
+  the SQL physical operators, the admission controller, and the circuit
+  breaker all report into (the Prometheus-registry role).
+* :class:`~repro.observability.profile.QueryProfile` — per-statement
+  trace spans (service → SQL operator → region scan) carried on the
+  :class:`~repro.resilience.RequestContext`, the OpenTelemetry-trace
+  role; ``EXPLAIN ANALYZE`` renders the operator spans as an annotated
+  plan tree.
+* :class:`~repro.observability.slowlog.SlowQueryLog` — a bounded log of
+  statements whose simulated latency crossed a configurable threshold
+  (MySQL's slow-query log / HBase's responseTooSlow).
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.profile import QueryProfile, Span, analyze_rows
+from repro.observability.slowlog import SlowQueryEntry, SlowQueryLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryProfile",
+    "Span",
+    "analyze_rows",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+]

@@ -1,0 +1,172 @@
+"""A minimal metrics registry (counters, gauges, quantile histograms).
+
+Mirrors the Prometheus client-library surface the HBase/OpenTelemetry
+stacks expose: metrics are named, optionally labelled, created on first
+use, and snapshot as plain JSON-safe numbers so the HTTP ``/metrics``
+endpoint can serve them without any serialization glue.  Histograms keep
+a bounded sample buffer and report nearest-rank p50/p95/p99, which is
+what the benchmark harness needs for tail-latency attribution.
+"""
+
+from __future__ import annotations
+
+
+def _metric_key(name: str, labels: dict) -> str:
+    """Flatten ``name`` + labels into one stable registry key."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, errors)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (in-flight statements, cache fill)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """A sample distribution with nearest-rank quantiles.
+
+    ``count``/``sum`` are exact over every observation; quantiles are
+    computed over a bounded sample buffer.  When the buffer fills it is
+    halved by keeping every second sample (a deterministic decimation
+    rather than a random reservoir, so tests are reproducible); with the
+    default 8192-sample buffer the reproduction's workloads never
+    decimate.
+    """
+
+    __slots__ = ("name", "count", "sum", "_samples", "_max_samples")
+
+    def __init__(self, name: str, max_samples: int = 8192):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if len(self._samples) >= self._max_samples:
+            self._samples = self._samples[::2]
+        self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(q * len(ordered) + 0.5) - 1))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "sum": round(self.sum, 6),
+                "mean": round(self.mean, 6),
+                "p50": round(self.p50, 6), "p95": round(self.p95, 6),
+                "p99": round(self.p99, 6)}
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and shared by name.
+
+    One registry serves a whole deployment (engine + store + service):
+    components hold the registry and call :meth:`counter` /
+    :meth:`gauge` / :meth:`histogram`, which return the same object for
+    the same name + labels, exactly like a Prometheus client registry.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, labels: dict, factory):
+        key = _metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(key)
+            self._metrics[key] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(f"metric {key!r} already registered as "
+                            f"{type(metric).__name__}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(name, labels, Gauge)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(name, labels, Histogram)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Every metric as JSON-safe data, keyed by flattened name."""
+        out = {}
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            if isinstance(metric, Histogram):
+                out[key] = metric.as_dict()
+            else:
+                out[key] = metric.value
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-exposition-style text (one ``name value`` per line)."""
+        lines = []
+        for key, value in self.snapshot().items():
+            if isinstance(value, dict):
+                for stat, number in value.items():
+                    lines.append(f"{key}_{stat} {number}")
+            else:
+                lines.append(f"{key} {value}")
+        return "\n".join(lines)

@@ -106,12 +106,20 @@ class RequestContext:
     accumulates.  ``bind`` attaches the statement's
     :class:`~repro.cluster.simclock.SimJob` so simulated charges (and
     injected gray-failure latency) consume deadline budget.
+
+    ``profile`` optionally carries a
+    :class:`~repro.observability.profile.QueryProfile`: instrumentation
+    points along the statement's path (physical operators, per-region
+    scans) attach trace spans to it when present and cost nothing when
+    absent.
     """
 
     def __init__(self, deadline: Deadline | None = None,
-                 partial_results: bool = False):
+                 partial_results: bool = False,
+                 profile=None):
         self.deadline = deadline
         self.partial_results = partial_results
+        self.profile = profile
         self.skipped: list[SkippedRegion] = []
         self.job = None
 
@@ -194,6 +202,11 @@ class AdmissionController:
         self.admitted = 0
         self.shed = 0
         self.peak_in_flight = 0
+        self.metrics = None
+
+    def bind_metrics(self, registry) -> None:
+        """Report admissions/sheds/in-flight into a metrics registry."""
+        self.metrics = registry
 
     @property
     def in_flight(self) -> int:
@@ -205,6 +218,8 @@ class AdmissionController:
 
     def _shed(self, scope: str, count: int, limit: int):
         self.shed += 1
+        if self.metrics is not None:
+            self.metrics.counter("admission.shed").inc()
         raise ServerOverloadedError(scope, count, limit)
 
     def acquire(self, user: str,
@@ -242,6 +257,10 @@ class AdmissionController:
             self.admitted += 1
             self.peak_in_flight = max(self.peak_in_flight,
                                       self._in_flight)
+            if self.metrics is not None:
+                self.metrics.counter("admission.admitted").inc()
+                self.metrics.gauge("admission.in_flight").set(
+                    self._in_flight)
 
     def release(self, user: str) -> None:
         with self._cond:
@@ -251,6 +270,9 @@ class AdmissionController:
                 self._per_user.pop(user, None)
             else:
                 self._per_user[user] = count
+            if self.metrics is not None:
+                self.metrics.gauge("admission.in_flight").set(
+                    self._in_flight)
             self._cond.notify()
 
     def stats(self) -> dict:
@@ -298,19 +320,29 @@ class CircuitBreaker:
         # Counters for operational visibility.
         self.times_opened = 0
         self.fast_failures = 0
+        self.metrics = None
+
+    def bind_metrics(self, registry) -> None:
+        """Report opens/fast-failures into a metrics registry."""
+        self.metrics = registry
+
+    def _count_fast_failure(self) -> None:
+        self.fast_failures += 1
+        if self.metrics is not None:
+            self.metrics.counter("breaker.fast_failures").inc()
 
     def before_call(self) -> None:
         """Gate one call; raises :class:`CircuitOpenError` when open."""
         if self.state == OPEN:
             elapsed = self._clock() - self.opened_at
             if elapsed < self.reset_timeout_s:
-                self.fast_failures += 1
+                self._count_fast_failure()
                 raise CircuitOpenError(self.reset_timeout_s - elapsed)
             self.state = HALF_OPEN
             self._probes_in_flight = 0
         if self.state == HALF_OPEN:
             if self._probes_in_flight >= self.half_open_probes:
-                self.fast_failures += 1
+                self._count_fast_failure()
                 raise CircuitOpenError(0.0)
             self._probes_in_flight += 1
 
@@ -340,6 +372,8 @@ class CircuitBreaker:
     def _trip(self) -> None:
         if self.state != OPEN:
             self.times_opened += 1
+            if self.metrics is not None:
+                self.metrics.counter("breaker.opened").inc()
         self.state = OPEN
         self.opened_at = self._clock()
         self._probes_in_flight = 0

@@ -60,6 +60,10 @@ class JustClient:
         self._sleep = sleep
         self.breaker = breaker if breaker is not None \
             else CircuitBreaker(clock=clock)
+        # Breaker trips/fast-failures surface on the server's /metrics
+        # endpoint next to the faults that caused them.
+        if getattr(server, "metrics", None) is not None:
+            self.breaker.bind_metrics(server.metrics)
         self.retries_attempted = 0
         self.reconnects = 0
         self._session_id = server.connect(user)

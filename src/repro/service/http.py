@@ -93,6 +93,11 @@ class JustHttpServer:
       for small results, or {handle, columns, total_rows, sim_ms} for
       large ones (fetched via /fetch).
     * ``POST /fetch``        {handle} -> {rows, done}
+    * ``GET  /metrics``      {} -> {metrics, slow_queries} — the
+      process-wide registry dump plus the slow-query log (the
+      Prometheus-scrape role).
+    * ``GET  /profile``      {limit?} -> {profiles} — recent statement
+      traces as span trees (the trace-backend role).
     """
 
     def __init__(self, server: JustServer | None = None,
@@ -127,6 +132,14 @@ class JustHttpServer:
             return self._execute(request)
         if path == "/fetch":
             return self._fetch(request)
+        if path == "/metrics":
+            return {"metrics": self.server.metrics_snapshot(),
+                    "slow_queries": self.server.slow_queries()}
+        if path == "/profile":
+            limit = request.get("limit")
+            profiles = self.server.recent_profiles(
+                int(limit) if limit is not None else None)
+            return {"profiles": [p.as_dict() for p in profiles]}
         return {"error": f"unknown path {path!r}", "kind": "RouteError"}
 
     def _execute(self, request: dict) -> dict:

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.core.engine import JustEngine
+from repro.observability.profile import QueryProfile
+from repro.observability.slowlog import DEFAULT_SLOW_MS, SlowQueryLog
 from repro.resilience import AdmissionController, Deadline, RequestContext
 from repro.service.session import (
     DEFAULT_SESSION_TIMEOUT_S,
@@ -10,6 +14,9 @@ from repro.service.session import (
     UserSession,
 )
 from repro.sql.result import ResultSet
+
+#: How many finished statement traces the server keeps for ``/profile``.
+DEFAULT_PROFILE_CAPACITY = 64
 
 
 class JustServer:
@@ -32,7 +39,9 @@ class JustServer:
     def __init__(self, engine: JustEngine | None = None,
                  session_timeout_s: float = DEFAULT_SESSION_TIMEOUT_S,
                  admission: AdmissionController | None = None,
-                 default_timeout_ms: float | None = None):
+                 default_timeout_ms: float | None = None,
+                 slow_query_ms: float | None = DEFAULT_SLOW_MS,
+                 profile_capacity: int = DEFAULT_PROFILE_CAPACITY):
         self.engine = engine if engine is not None else JustEngine()
         self.sessions = SessionManager(session_timeout_s)
         self.admission = admission if admission is not None \
@@ -40,6 +49,14 @@ class JustServer:
         #: Server-side deadline applied when the client sends none
         #: (``None`` disables; like ``hbase.client.operation.timeout``).
         self.default_timeout_ms = default_timeout_ms
+        #: Process-wide registry shared with the engine and the store;
+        #: the admission controller reports into it too.
+        self.metrics = self.engine.metrics
+        self.admission.bind_metrics(self.metrics)
+        #: Statements slower than ``slow_query_ms`` simulated ms land
+        #: here with their trace (``None`` disables the log).
+        self.slow_query_log = SlowQueryLog(threshold_ms=slow_query_ms)
+        self._profiles: deque[QueryProfile] = deque(maxlen=profile_capacity)
 
     def connect(self, user: str) -> str:
         """Open a session for a user; returns the session id."""
@@ -65,15 +82,39 @@ class JustServer:
         session = self.sessions.get(session_id)
         budget = timeout_ms if timeout_ms is not None \
             else self.default_timeout_ms
+        profile = QueryProfile(statement=statement, user=session.user)
         ctx = RequestContext(
             deadline=Deadline(budget) if budget is not None else None,
-            partial_results=partial_results)
+            partial_results=partial_results, profile=profile)
         self.admission.acquire(session.user)
+        status = "error"
         try:
-            return self.engine.sql(statement,
-                                   namespace=session.namespace, ctx=ctx)
+            result = self.engine.sql(statement,
+                                     namespace=session.namespace, ctx=ctx)
+            status = "ok"
+            return result
         finally:
             self.admission.release(session.user)
+            self._observe_statement(profile, session.user, statement,
+                                    ctx, status)
+
+    def _observe_statement(self, profile: QueryProfile, user: str,
+                           statement: str, ctx: RequestContext,
+                           status: str) -> None:
+        """Record one finished (or failed) statement everywhere at once."""
+        job = ctx.job
+        sim_ms = job.elapsed_ms if job is not None else 0.0
+        if profile.root.sim_ms == 0.0:
+            # DDL and failed statements never reach the per-statement
+            # finish() call; seal the trace with what the job charged.
+            profile.finish(sim_ms)
+        self._profiles.append(profile)
+        self.metrics.counter("server.statements", status=status).inc()
+        self.metrics.histogram("server.statement_sim_ms").observe(sim_ms)
+        breakdown = dict(job.breakdown) if job is not None else {}
+        self.slow_query_log.observe(statement, user, sim_ms,
+                                    breakdown=breakdown,
+                                    profile=profile.as_dict())
 
     def _expire_stale(self) -> None:
         for session in self.sessions.expire_idle():
@@ -95,3 +136,32 @@ class JustServer:
     def admission_stats(self) -> dict:
         """Operational counters from the admission controller."""
         return self.admission.stats()
+
+    # -- observability -------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """JSON-safe dump of every metric, with derived gauges refreshed.
+
+        The block-cache hit ratio is derived at read time from the
+        store's authoritative counters (hits over touched blocks), so it
+        stays correct across flush/compact cycles instead of drifting as
+        a sampled value would.
+        """
+        stats = self.engine.store.stats
+        touched = stats.cache_hits + stats.blocks_read
+        ratio = stats.cache_hits / touched if touched else 0.0
+        self.metrics.gauge("kvstore.cache_hit_ratio").set(ratio)
+        used = sum(self.engine.store.cache_for(s).used_bytes
+                   for s in range(self.engine.store.num_servers))
+        self.metrics.gauge("kvstore.cache_used_bytes").set(used)
+        self.metrics.gauge("server.slow_queries_logged").set(
+            self.slow_query_log.total_logged)
+        return self.metrics.snapshot()
+
+    def recent_profiles(self, limit: int | None = None) -> list[QueryProfile]:
+        """Most recent statement traces, newest last."""
+        profiles = list(self._profiles)
+        return profiles if limit is None else profiles[-limit:]
+
+    def slow_queries(self) -> list[dict]:
+        """The slow-query log as JSON-safe dicts, oldest first."""
+        return self.slow_query_log.as_dicts()

@@ -180,6 +180,12 @@ class LoadStmt(Statement):
 
 @dataclass
 class ExplainStmt(Statement):
-    """EXPLAIN SELECT ...: return the optimized logical plan as text."""
+    """EXPLAIN [ANALYZE] SELECT ...
+
+    Plain EXPLAIN returns the optimized logical plan as text; EXPLAIN
+    ANALYZE executes the plan and annotates every physical operator with
+    rows, blocks read, cache hits, and simulated milliseconds.
+    """
 
     select: SelectStmt
+    analyze: bool = False

@@ -38,6 +38,8 @@ def execute_statement(engine, statement: str,
     if isinstance(stmt, SelectStmt):
         return _run_select(engine, stmt, namespace, ctx)
     if isinstance(stmt, ExplainStmt):
+        if stmt.analyze:
+            return _run_explain_analyze(engine, stmt, namespace, ctx)
         plan = optimize(analyze_select(engine, stmt.select, namespace))
         rows = [{"plan": line} for line in plan.pretty().splitlines()]
         return ResultSet.from_rows(rows, ["plan"])
@@ -79,7 +81,43 @@ def _run_select(engine, stmt: SelectStmt, namespace: str,
     job.charge_fixed("driver", engine.cluster.model.query_overhead_ms)
     df = execute_plan(plan, engine, job, ctx)
     result = ResultSet.from_dataframe(df, job)
-    if ctx is not None and ctx.skipped:
+    if ctx is not None:
+        if ctx.profile is not None:
+            ctx.profile.finish(job.elapsed_ms, rows=len(result))
+        if ctx.skipped:
+            result.skipped_regions = ctx.skipped_report
+    return result
+
+
+def _run_explain_analyze(engine, stmt: ExplainStmt, namespace: str,
+                         ctx=None) -> ResultSet:
+    """Execute the SELECT under a trace profile, return annotated plan.
+
+    The statement really runs (charging the job and honouring any
+    deadline on ``ctx``), but the result rows are discarded in favour of
+    the per-operator span annotations — exactly PostgreSQL's
+    ``EXPLAIN ANALYZE`` contract.
+    """
+    from repro.observability.profile import QueryProfile, analyze_rows
+    from repro.resilience import RequestContext
+
+    if ctx is None:
+        ctx = RequestContext()
+    owned_profile = ctx.profile is None
+    if owned_profile:
+        ctx.profile = QueryProfile(statement="EXPLAIN ANALYZE")
+    profile = ctx.profile
+    plan = optimize(analyze_select(engine, stmt.select, namespace))
+    job = engine.cluster.job()
+    ctx.bind(job)
+    job.charge_fixed("driver", engine.cluster.model.query_overhead_ms)
+    df = execute_plan(plan, engine, job, ctx)
+    profile.finish(job.elapsed_ms, rows=df.count())
+    result = ResultSet.from_rows(
+        analyze_rows(profile),
+        ["operator", "rows", "blocks_read", "cache_hits",
+         "cache_hit_rate", "sim_ms"], job)
+    if ctx.skipped:
         result.skipped_regions = ctx.skipped_report
     return result
 

@@ -183,7 +183,14 @@ class _Parser:
 
     def _parse_explain(self) -> ExplainStmt:
         self.expect_keyword("explain")
-        return ExplainStmt(self._parse_select())
+        # ANALYZE is not a reserved keyword (tables may use the name),
+        # so it is recognized positionally, like PostgreSQL's grammar.
+        analyze = False
+        if self.peek().kind == "ident" and \
+                self.peek().lowered == "analyze":
+            self.advance()
+            analyze = True
+        return ExplainStmt(self._parse_select(), analyze=analyze)
 
     def _parse_order_item(self) -> tuple[Expr, bool]:
         expr = self._parse_expr()

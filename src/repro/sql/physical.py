@@ -69,10 +69,43 @@ def execute_plan(plan: LogicalNode, engine, job, ctx=None) -> DataFrame:
     ``ctx`` (a :class:`repro.resilience.RequestContext`) is checked at
     node boundaries — a statement past its deadline cancels between
     operators rather than running to completion — and reaches the store
-    through the scan node.
+    through the scan node.  When the context carries a
+    :class:`~repro.observability.profile.QueryProfile`, every operator
+    executes inside a trace span annotated with rows out, blocks read,
+    cache hits, and inclusive simulated milliseconds (the data EXPLAIN
+    ANALYZE renders); per-operator latency histograms go to the
+    engine's metrics registry either way.
     """
     if ctx is not None:
         ctx.check(f"{type(plan).__name__} boundary")
+    profile = getattr(ctx, "profile", None) if ctx is not None else None
+    op_name = type(plan).__name__
+    start_ms = job.elapsed_ms
+    if profile is None:
+        df = _execute_node(plan, engine, job, ctx)
+    else:
+        before = engine.store.stats.snapshot()
+        with profile.span(plan.describe(), kind="operator",
+                          op=op_name) as span:
+            try:
+                df = _execute_node(plan, engine, job, ctx)
+            finally:
+                delta = engine.store.stats.snapshot().delta(before)
+                span.sim_ms = job.elapsed_ms - start_ms
+                span.attrs.update(
+                    blocks_read=delta.blocks_read,
+                    cache_hits=delta.cache_hits,
+                    disk_bytes_read=delta.disk_bytes_read)
+            span.attrs["rows_out"] = df.count()
+    metrics = getattr(engine, "metrics", None)
+    if metrics is not None:
+        metrics.histogram("sql.operator_ms", op=op_name).observe(
+            job.elapsed_ms - start_ms)
+        metrics.counter("sql.operators_executed").inc()
+    return df
+
+
+def _execute_node(plan: LogicalNode, engine, job, ctx=None) -> DataFrame:
     if isinstance(plan, ScanNode):
         return _execute_scan(plan, engine, job, ctx)
     if isinstance(plan, ViewScanNode):

@@ -84,8 +84,12 @@ class ResultSet:
         return row
 
     def __iter__(self):
-        for chunk in self._chunks:
-            yield from chunk
+        # Iteration drives the cursor: mixing ``next()`` with ``for row
+        # in rs`` must not re-read consumed rows (a cursor, like the
+        # paper's SDK, has one position — it used to restart from row 0
+        # and hand duplicates to code that had already called next()).
+        while self.has_next():
+            yield self.next()
 
     def __len__(self) -> int:
         return sum(len(chunk) for chunk in self._chunks)

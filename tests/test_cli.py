@@ -119,6 +119,18 @@ class TestMain:
                    if line.strip().startswith("sync"))
         assert row.split("|")[2].strip() == "0"
 
+    def test_metrics_subcommand(self):
+        out = io.StringIO()
+        code = main(["metrics", "--rows", "400", "--repeat", "2"],
+                    out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "EXPLAIN ANALYZE" in text
+        assert "RegionScan[" in text
+        assert "kvstore.cache_hit_ratio" in text
+        assert "server.statement_sim_ms_p95" in text
+        assert "slow-query log" in text
+
     def test_faults_all_policies(self):
         out = io.StringIO()
         assert main(["faults", "--keys", "300", "--kill-after", "200"],

@@ -154,6 +154,37 @@ class TestCrash:
         assert stats.wal_syncs == 1
 
 
+class TestPerServerAttribution:
+    def test_appends_split_by_server(self):
+        stats = IOStats()
+        wal0 = WriteAheadLog(0, stats, SyncPolicy.ASYNC)
+        wal2 = WriteAheadLog(2, stats, SyncPolicy.ASYNC)
+        wal0.append("t", 1, b"k0", b"v" * 10)
+        wal0.append("t", 1, b"k1", b"v" * 10)
+        wal2.append("t", 2, b"k2", b"v" * 30)
+        assert set(stats.per_server_wal) == {0, 2}
+        assert stats.per_server_wal[2] > 0
+        assert sum(stats.per_server_wal.values()) == \
+            stats.wal_bytes_written
+        # Per-server WAL bytes must not leak into the read-side
+        # straggler accounting the scan cost model uses.
+        assert stats.per_server_read == {}
+
+    def test_snapshot_delta_covers_wal_attribution(self):
+        stats = IOStats()
+        wal = WriteAheadLog(1, stats, SyncPolicy.ASYNC)
+        before = stats.snapshot()
+        wal.append("t", 1, b"k", b"v" * 20)
+        delta = stats.snapshot().delta(before)
+        assert delta.per_server_wal[1] == delta.wal_bytes_written
+
+    def test_replay_attributed_to_recovering_server(self):
+        stats = IOStats()
+        stats.record_wal_replay(100, server=3)
+        assert stats.per_server_wal[3] == 100
+        assert stats.wal_bytes_replayed == 100
+
+
 def test_sync_policy_values():
     assert SyncPolicy("sync") is SyncPolicy.SYNC
     assert SyncPolicy("periodic") is SyncPolicy.PERIODIC

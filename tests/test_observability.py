@@ -1,0 +1,501 @@
+"""Query observability: metrics registry, trace profiles, EXPLAIN ANALYZE,
+slow-query log, cache lifecycle, and streaming-scan cancellation."""
+
+import json
+
+import pytest
+
+from repro.errors import QueryTimeoutError
+from repro.kvstore import KVStore, ScanSpec
+from repro.kvstore.iostats import IOStats
+from repro.kvstore.region import Region
+from repro.observability.metrics import Counter, Histogram, MetricsRegistry
+from repro.observability.profile import QueryProfile, analyze_rows
+from repro.observability.slowlog import SlowQueryLog
+from repro.resilience import Deadline, RequestContext
+from repro.service.http import JustHttpServer
+from repro.service.server import JustServer
+
+from conftest import T0
+
+
+# -- metrics registry ---------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc()
+        registry.counter("requests").inc(4)
+        assert registry.counter("requests").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_labels_key_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("statements", status="ok").inc(3)
+        registry.counter("statements", status="error").inc()
+        snap = registry.snapshot()
+        assert snap["statements{status=ok}"] == 3
+        assert snap["statements{status=error}"] == 1
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("m", b="2", a="1").inc()
+        registry.counter("m", a="1", b="2").inc()
+        assert registry.counter("m", a="1", b="2").value == 2
+
+    def test_type_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("in_flight")
+        gauge.add(2)
+        gauge.add(-1)
+        assert gauge.value == 1
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.5)
+        registry.counter("c").inc()
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert list(snap) == sorted(snap)
+
+    def test_render_text_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("kvstore.blocks_read").inc(6)
+        text = registry.render_text()
+        assert "kvstore.blocks_read 6" in text
+
+
+class TestHistogramQuantiles:
+    def test_exact_nearest_rank(self):
+        h = Histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.sum == pytest.approx(5050.0)
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(0.99) == 99.0
+        assert h.p50 == 50.0 and h.p95 == 95.0 and h.p99 == 99.0
+
+    def test_order_independent(self):
+        h = Histogram("lat")
+        for v in (9.0, 1.0, 5.0, 3.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(1.0) == 9.0
+        assert h.quantile(0.0) == 1.0
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+
+    def test_count_and_sum_survive_decimation(self):
+        h = Histogram("lat", max_samples=64)
+        n = 64 * 2 + 7
+        for v in range(n):
+            h.observe(float(v))
+        # The sample buffer decimates, the exact aggregates don't.
+        assert h.count == n
+        assert h.sum == pytest.approx(sum(range(n)))
+        assert 0.0 <= h.quantile(0.5) <= float(n - 1)
+        assert h.quantile(1.0) == float(n - 1)
+
+
+# -- trace profiles -----------------------------------------------------------
+
+class TestQueryProfile:
+    def test_span_nesting(self):
+        profile = QueryProfile(statement="SELECT 1", user="alice")
+        with profile.span("Project", kind="operator"):
+            with profile.span("Scan", kind="operator"):
+                profile.add_event("RegionScan[r0]", kind="region_scan",
+                                  rows=3)
+            assert profile.current.name == "Project"
+        depths = {span.name: depth for depth, span in profile.root.walk()}
+        assert depths["statement"] == 0
+        assert depths["Project"] == 1
+        assert depths["Scan"] == 2
+        assert depths["RegionScan[r0]"] == 3
+
+    def test_add_event_does_not_push(self):
+        profile = QueryProfile()
+        with profile.span("op", kind="operator"):
+            profile.add_event("leaf")
+            assert profile.current.name == "op"
+        assert profile.current is profile.root
+
+    def test_span_pops_on_error(self):
+        profile = QueryProfile()
+        with pytest.raises(RuntimeError):
+            with profile.span("op"):
+                raise RuntimeError("boom")
+        assert profile.current is profile.root
+
+    def test_finish_seals_root(self):
+        profile = QueryProfile(statement="q")
+        profile.finish(123.4, rows=7)
+        assert profile.sim_ms == 123.4
+        assert profile.root.attrs["rows"] == 7
+
+    def test_cache_hit_rate(self):
+        profile = QueryProfile()
+        span = profile.add_event("s", blocks_read=1, cache_hits=3)
+        assert span.cache_hit_rate == pytest.approx(0.75)
+        untouched = profile.add_event("t")
+        assert untouched.cache_hit_rate is None
+
+    def test_analyze_rows_filters_and_indents(self):
+        profile = QueryProfile()
+        with profile.span("Project", kind="operator", rows_out=5):
+            profile.add_event("internal", kind="event")  # not reported
+            with profile.span("Scan", kind="operator", rows_out=9):
+                profile.add_event("RegionScan[r1]", kind="region_scan",
+                                  rows=9, blocks_read=2, cache_hits=2)
+        rows = analyze_rows(profile)
+        assert [r["operator"] for r in rows] == \
+            ["Project", "  Scan", "    RegionScan[r1]"]
+        assert rows[2]["cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_as_dict_json_safe(self):
+        profile = QueryProfile(statement="q", user="u")
+        with profile.span("op", kind="operator"):
+            pass
+        profile.finish(1.0)
+        dumped = profile.as_dict()
+        assert json.loads(json.dumps(dumped)) == dumped
+
+
+class TestSlowQueryLog:
+    def test_threshold_and_ring(self):
+        log = SlowQueryLog(threshold_ms=100.0, capacity=2)
+        assert log.observe("fast", "u", 99.9) is None
+        for i in range(3):
+            assert log.observe(f"slow{i}", "u", 150.0 + i) is not None
+        assert log.total_logged == 3
+        assert [e.statement for e in log.entries()] == ["slow1", "slow2"]
+
+    def test_disabled_log(self):
+        log = SlowQueryLog(threshold_ms=None)
+        assert not log.enabled
+        assert log.observe("q", "u", 1e9) is None
+
+
+# -- EXPLAIN ANALYZE (acceptance) --------------------------------------------
+
+ST_QUERY = ("SELECT fid FROM poi WHERE geom WITHIN "
+            "st_makeMBR(116.1, 39.85, 116.25, 39.95) "
+            f"AND time BETWEEN {T0} AND {T0 + 86400}")
+
+
+class TestExplainAnalyze:
+    def test_plain_explain_still_returns_plan_text(self, poi_engine):
+        rs = poi_engine.sql("EXPLAIN " + ST_QUERY)
+        assert rs.columns == ["plan"]
+        assert any("Scan" in r["plan"] for r in rs.rows)
+
+    def test_every_operator_reports_counters(self, poi_engine):
+        poi_engine.table("poi").flush()  # read path must touch blocks
+        rs = poi_engine.sql("EXPLAIN ANALYZE " + ST_QUERY)
+        assert rs.columns == ["operator", "rows", "blocks_read",
+                              "cache_hits", "cache_hit_rate", "sim_ms"]
+        rows = rs.rows
+        assert len(rows) >= 2  # at least Project + Scan
+        names = [r["operator"] for r in rows]
+        assert any("Project" in n for n in names)
+        assert any("Scan[" in n for n in names)
+        assert any("RegionScan[" in n for n in names)
+        for r in rows:
+            assert isinstance(r["rows"], int)
+            assert isinstance(r["blocks_read"], int)
+            assert isinstance(r["cache_hits"], int)
+            assert isinstance(r["sim_ms"], float)
+        top = rows[0]
+        assert top["sim_ms"] > 0
+        # The flushed table forces real block I/O somewhere in the tree.
+        assert sum(r["blocks_read"] + r["cache_hits"] for r in rows) > 0
+
+    def test_matches_plain_select_rows(self, poi_engine):
+        expected = len(poi_engine.sql(ST_QUERY))
+        rs = poi_engine.sql("EXPLAIN ANALYZE " + ST_QUERY)
+        assert rs.rows[0]["rows"] == expected
+
+    def test_second_run_hits_cache(self, poi_engine):
+        poi_engine.table("poi").flush()
+        poi_engine.sql("EXPLAIN ANALYZE " + ST_QUERY)  # warm the cache
+        rs = poi_engine.sql("EXPLAIN ANALYZE " + ST_QUERY)
+        assert sum(r["cache_hits"] for r in rs.rows) > 0
+
+
+# -- service-layer observability ---------------------------------------------
+
+def _run_workload(server, statements, user="alice"):
+    session = server.connect(user)
+    for statement in statements:
+        server.execute(session, statement)
+
+
+WORKLOAD = [
+    "CREATE TABLE t (fid integer:primary key, v double)",
+    "INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5)",
+    "SELECT fid FROM t WHERE v > 2.0",
+]
+
+
+class TestServerObservability:
+    def test_statement_metrics(self):
+        server = JustServer()
+        _run_workload(server, WORKLOAD)
+        snap = server.metrics_snapshot()
+        assert snap["server.statements{status=ok}"] == 3
+        assert snap["server.statement_sim_ms"]["count"] == 3
+        assert "kvstore.cache_hit_ratio" in snap
+        assert snap["admission.admitted"] == 3
+
+    def test_error_statements_counted(self):
+        server = JustServer()
+        session = server.connect("alice")
+        with pytest.raises(Exception):
+            server.execute(session, "SELECT nope FROM missing")
+        assert server.metrics_snapshot()[
+            "server.statements{status=error}"] == 1
+
+    def test_profiles_recorded_per_statement(self):
+        server = JustServer()
+        _run_workload(server, WORKLOAD)
+        profiles = server.recent_profiles()
+        assert len(profiles) == 3
+        select = profiles[-1]
+        assert select.statement == WORKLOAD[-1]
+        assert select.user == "alice"
+        assert select.sim_ms > 0
+        assert select.operator_spans()  # SELECT traced its operators
+
+    def test_slow_query_log_captures_trace(self):
+        server = JustServer(slow_query_ms=0.001)
+        _run_workload(server, WORKLOAD)
+        entries = server.slow_queries()
+        assert entries  # everything is over a ~0 threshold
+        assert entries[-1]["statement"] == WORKLOAD[-1]
+        assert entries[-1]["profile"]["trace"]["name"] == "statement"
+        assert entries[-1]["breakdown"]  # job cost attribution rode along
+
+    def test_slow_query_log_disabled(self):
+        server = JustServer(slow_query_ms=None)
+        _run_workload(server, WORKLOAD)
+        assert server.slow_queries() == []
+
+    def test_http_metrics_endpoint(self):
+        http = JustHttpServer(JustServer(slow_query_ms=0.001))
+        session = http.handle({"path": "/connect", "user": "bob"})["session"]
+        for statement in WORKLOAD:
+            http.handle({"path": "/execute", "session": session,
+                         "sql": statement})
+        response = http.handle({"path": "/metrics"})
+        assert response["metrics"]["server.statements{status=ok}"] == 3
+        assert response["slow_queries"]
+        assert json.loads(json.dumps(response)) == response
+
+    def test_http_profile_endpoint(self):
+        http = JustHttpServer(JustServer())
+        session = http.handle({"path": "/connect", "user": "bob"})["session"]
+        for statement in WORKLOAD:
+            http.handle({"path": "/execute", "session": session,
+                         "sql": statement})
+        response = http.handle({"path": "/profile", "limit": 2})
+        assert len(response["profiles"]) == 2
+        assert response["profiles"][-1]["trace"]["name"] == "statement"
+
+
+# -- block-cache lifecycle (leak regression) ---------------------------------
+
+def small_store(**kwargs):
+    defaults = dict(num_servers=3, flush_bytes=4 * 1024,
+                    split_bytes=64 * 1024, block_bytes=1024)
+    defaults.update(kwargs)
+    return KVStore(**defaults)
+
+
+def _cached_sstable_ids(store):
+    ids = set()
+    for server in range(store.num_servers):
+        for key in store.cache_for(server)._entries:
+            ids.add(key[1])
+    return ids
+
+
+def _live_sstable_ids(table):
+    return {sstable.sstable_id
+            for region in table._regions
+            for sstable in region.sstables}
+
+
+class TestBlockCacheLifecycle:
+    def test_compaction_evicts_dead_sstable_blocks(self):
+        store = small_store()
+        table = store.create_table("t")
+        for i in range(200):
+            table.put(f"{i:04d}".encode(), b"v" * 60)
+        table.flush()
+        list(table.scan(ScanSpec.full()))  # populate the cache
+        for i in range(200, 400):
+            table.put(f"{i:04d}".encode(), b"v" * 60)
+        table.flush()
+        list(table.scan(ScanSpec.full()))
+        assert _cached_sstable_ids(store)
+        table.compact()
+        # No dead SSTable may keep blocks cached after compaction.
+        assert _cached_sstable_ids(store) <= _live_sstable_ids(table)
+
+    def test_used_bytes_only_counts_live_sstables(self):
+        store = small_store()
+        table = store.create_table("t")
+        for i in range(300):
+            table.put(f"{i:04d}".encode(), b"v" * 60)
+        table.flush()
+        list(table.scan(ScanSpec.full()))
+        table.compact()
+        list(table.scan(ScanSpec.full()))  # re-cache the live run
+        live_bytes = sum(region.disk_bytes for region in table._regions)
+        used = sum(store.cache_for(s).used_bytes
+                   for s in range(store.num_servers))
+        assert 0 < used <= live_bytes
+
+    def test_hit_ratio_correct_across_flush_compact_cycle(self):
+        store = small_store()
+        table = store.create_table("t")
+        for i in range(300):
+            table.put(f"{i:04d}".encode(), b"v" * 60)
+        table.flush()
+        list(table.scan(ScanSpec.full()))  # cold: disk reads
+        list(table.scan(ScanSpec.full()))  # warm: cache hits
+        warm_hits = store.stats.cache_hits
+        assert warm_hits > 0
+        for i in range(300, 500):
+            table.put(f"{i:04d}".encode(), b"v" * 60)
+        table.flush()
+        table.compact()
+        before = store.stats.snapshot()
+        list(table.scan(ScanSpec.full()))  # compacted run is cold again
+        delta = store.stats.snapshot().delta(before)
+        assert delta.blocks_read > 0
+        assert delta.cache_hits == 0  # stale blocks cannot fake hits
+        before = store.stats.snapshot()
+        list(table.scan(ScanSpec.full()))
+        delta = store.stats.snapshot().delta(before)
+        assert delta.blocks_read == 0
+        assert delta.cache_hits > 0
+
+    def test_split_evicts_parent_blocks(self):
+        store = small_store(split_bytes=8 * 1024)
+        table = store.create_table("t")
+        for i in range(100):
+            table.put(f"{i:04d}".encode(), b"v" * 60)
+        table.flush()
+        list(table.scan(ScanSpec.full()))
+        for i in range(100, 2000):  # push past the split threshold
+            table.put(f"{i:04d}".encode(), b"v" * 60)
+        assert table.num_regions > 1
+        assert _cached_sstable_ids(store) <= _live_sstable_ids(table)
+
+    def test_failover_leaves_no_stale_cached_blocks(self):
+        store = small_store(wal_policy="sync")
+        table = store.create_table("t")
+        for i in range(300):
+            table.put(f"{i:04d}".encode(), b"v" * 60)
+        table.flush()
+        list(table.scan(ScanSpec.full()))  # cache blocks on the host
+        victim = table.regions()[0].server
+        store.crash_server(victim)
+        # The dead server's cache was cleared and the survivors hold no
+        # blocks for regions they just inherited cold.
+        assert _cached_sstable_ids(store) <= _live_sstable_ids(table)
+        assert store.cache_for(victim).used_bytes == 0
+        # The rehomed region still reads correctly (cold, then cached).
+        assert len(list(table.scan(ScanSpec.full()))) == 300
+
+    def test_drop_table_releases_cache(self):
+        store = small_store()
+        table = store.create_table("t")
+        for i in range(200):
+            table.put(f"{i:04d}".encode(), b"v" * 60)
+        table.flush()
+        list(table.scan(ScanSpec.full()))
+        store.drop_table("t")
+        assert not _cached_sstable_ids(store)
+
+
+# -- streaming scan: cancellation and precedence ------------------------------
+
+def make_region(**kwargs):
+    defaults = dict(start_key=b"", end_key=None, stats=IOStats(),
+                    flush_bytes=1 << 30, block_bytes=256)
+    defaults.update(kwargs)
+    return Region(**defaults)
+
+
+class TestStreamingScan:
+    def test_deadline_aborts_mid_merge(self):
+        region = make_region()
+        for i in range(2000):
+            region.put(f"{i:05d}".encode(), b"v" * 40)
+        region.flush()
+        deadline = Deadline(1.0)
+        deadline.charge(2.0)  # pre-expired: the first check trips
+        ctx = RequestContext(deadline=deadline)
+        stats = region._stats
+        consumed = []
+        with pytest.raises(QueryTimeoutError):
+            for key, _value in region.scan(b"", None, None, ctx=ctx):
+                consumed.append(key)
+        # The merge really was abandoned partway: at most one
+        # cancellation window of rows came out, and the lazy block
+        # charging stopped with it.
+        assert len(consumed) <= Region.CANCEL_CHECK_ROWS
+        assert stats.blocks_read < region.sstables[0].num_blocks
+
+    def test_merge_is_streaming_not_materialized(self):
+        region = make_region()
+        for i in range(2000):
+            region.put(f"{i:05d}".encode(), b"v" * 40)
+        region.flush()
+        stats = region._stats
+        iterator = region.scan(b"", None, None)
+        for _ in range(10):
+            next(iterator)
+        iterator.close()
+        # An early stop must not have paid for the whole run.
+        assert stats.blocks_read < region.sstables[0].num_blocks
+
+    def test_newest_wins_across_runs_and_memstore(self):
+        region = make_region()
+        region.put(b"a", b"old")
+        region.put(b"b", b"keep")
+        region.flush()
+        region.put(b"a", b"mid")
+        region.put(b"c", b"dead")
+        region.flush()
+        region.put(b"a", b"new")   # memstore beats both runs
+        region.put(b"c", None)     # memstore tombstone masks the run
+        rows = dict(region.scan(b"", None, None))
+        assert rows == {b"a": b"new", b"b": b"keep"}
+
+    def test_tombstone_in_newer_run_masks_older(self):
+        region = make_region()
+        region.put(b"x", b"v1")
+        region.flush()
+        region.put(b"x", None)
+        region.flush()
+        assert list(region.scan(b"", None, None)) == []

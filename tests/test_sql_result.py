@@ -31,6 +31,29 @@ def test_iteration_protocol():
     assert len(rs) == 2
 
 
+def test_iteration_drives_the_cursor():
+    # Mixing next() with iteration must never replay consumed rows:
+    # the result set has one cursor position, like the paper's SDK.
+    rs = ResultSet.from_rows([{"a": i} for i in range(6)])
+    assert rs.next()["a"] == 0
+    assert rs.next()["a"] == 1
+    rest = [r["a"] for r in rs]
+    assert rest == [2, 3, 4, 5]
+    assert not rs.has_next()
+    # And the other way round: a partial iteration advances next() too.
+    rs = ResultSet.from_rows([{"a": i} for i in range(4)])
+    for row in rs:
+        if row["a"] == 1:
+            break
+    assert rs.next()["a"] == 2
+
+
+def test_iteration_crosses_chunk_boundaries():
+    rs = ResultSet(["a"], [[{"a": 0}], [{"a": 1}, {"a": 2}]])
+    assert rs.next()["a"] == 0
+    assert [r["a"] for r in rs] == [1, 2]
+
+
 def test_small_result_single_chunk():
     df = DataFrame.from_rows([{"a": i} for i in range(10)])
     rs = ResultSet.from_dataframe(df, job())
