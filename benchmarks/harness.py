@@ -84,6 +84,9 @@ ORDER_SCHEMA = Schema([
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent \
     / "bench_results.json"
+#: Metrics-registry snapshots of every engine a benchmark run built,
+#: dumped next to the figures so I/O accounting rides along.
+METRICS_PATH = RESULTS_PATH.parent / "bench_metrics.json"
 
 OOM = "OOM"
 
@@ -164,6 +167,10 @@ class ReportSink:
         RESULTS_PATH.write_text(
             json.dumps(dict(sorted(existing.items())), indent=2,
                        default=str))
+        snapshots = DATA.metrics_snapshots()
+        if snapshots:
+            METRICS_PATH.write_text(
+                json.dumps(snapshots, indent=2, default=str))
 
 
 REPORT = ReportSink()
@@ -183,6 +190,17 @@ class FigureData:
         if key not in self._cache:
             self._cache[key] = builder()
         return self._cache[key]
+
+    def metrics_snapshots(self) -> dict:
+        """Registry snapshot of every engine built so far, by cache key."""
+        out = {}
+        for key, value in self._cache.items():
+            engine = value.get("engine") \
+                if isinstance(value, dict) else value
+            metrics = getattr(engine, "metrics", None)
+            if metrics is not None:
+                out[key] = metrics.snapshot()
+        return out
 
     # -- datasets ------------------------------------------------------------
     @property

@@ -22,6 +22,10 @@ Observability demo (metrics registry, EXPLAIN ANALYZE, slow-query log)::
 
     python -m repro metrics --rows 2000 --repeat 5
 
+Cluster-introspection demo (region heatmap over the sys.* tables)::
+
+    python -m repro top --once
+
 The shell keeps one engine (and one user session) for its lifetime, prints
 result sets as aligned tables, and reports each query's simulated
 latency.  ``--user`` picks the namespace; multiple shells could share an
@@ -166,6 +170,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if argv and argv[0] == "metrics":
         from repro.observability.demo import main as metrics_main
         return metrics_main(argv[1:], out=out)
+    if argv and argv[0] == "top":
+        from repro.observability.top import main as top_main
+        return top_main(argv[1:], out=out)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="JustQL shell for the JUST reproduction engine.")

@@ -21,7 +21,7 @@ class TableMeta:
     """One row of the meta table."""
 
     name: str
-    kind: str                      # "common" or "plugin"
+    kind: str                      # "common", "plugin", or "system"
     schema: Schema
     index_names: list[str]
     plugin_type: str | None = None
@@ -40,6 +40,19 @@ class Catalog:
         if meta.name in self._tables:
             raise TableExistsError(meta.name)
         meta.sequence = next(self._sequence)
+        self._tables[meta.name] = meta
+
+    def replace(self, meta: TableMeta) -> None:
+        """Create-or-replace, keeping the original creation order.
+
+        Used by the read-only ``sys.*`` system tables, whose providers
+        are re-registered when the service layer wraps the engine;
+        user tables go through :meth:`create` and stay unique-name
+        enforced.
+        """
+        existing = self._tables.get(meta.name)
+        meta.sequence = existing.sequence if existing is not None \
+            else next(self._sequence)
         self._tables[meta.name] = meta
 
     def drop(self, name: str) -> TableMeta:

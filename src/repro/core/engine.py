@@ -84,11 +84,17 @@ class JustEngine:
                  flush_bytes: int | None = None):
         #: Process-wide observability registry: the store's I/O stats,
         #: the SQL operators, and the service layer all report into it.
+        from repro.observability.events import EventLog
         from repro.observability.metrics import MetricsRegistry
         self.metrics = MetricsRegistry()
+        #: Cluster event log (flushes, compactions, splits, failovers,
+        #: ...), shared with the store and the service layer; queryable
+        #: as ``sys.events``.
+        self.events = EventLog()
         self.cluster = Cluster(num_servers, memory_budget_bytes, cost_model)
         store_kwargs = {"cache_bytes_per_server": cache_bytes_per_server,
                         "metrics": self.metrics,
+                        "events": self.events,
                         # The store shares the cluster's cost model so
                         # kvstore-level trace spans (per-region scans)
                         # can estimate simulated time.
@@ -122,6 +128,55 @@ class JustEngine:
         self.adaptive_execution = adaptive_execution
         self.oltp_threshold_bytes = oltp_threshold_bytes
         self.local_overhead_ms = local_overhead_ms
+        #: Virtual ``sys.*`` tables: live row providers over engine state.
+        self.system_tables: dict[str, object] = {}
+        from repro.core.systables import install_system_tables
+        install_system_tables(self)
+
+    # -- system tables -----------------------------------------------------------
+    def register_system_table(self, name: str, columns, provider,
+                              description: str = "",
+                              types=()) -> None:
+        """Register (or re-register) one read-only ``sys.*`` table.
+
+        Re-registration replaces the provider — the service layer
+        upgrades ``sys.sessions`` / ``sys.slow_queries`` from the
+        engine's empty defaults to live server-backed ones.
+        """
+        from repro.core.systables import SystemTable
+        table = SystemTable(name, tuple(columns), provider,
+                            description=description, types=tuple(types))
+        self.system_tables[name] = table
+        self.catalog.replace(TableMeta(name, "system", table.schema(),
+                                       index_names=[]))
+
+    def has_system_table(self, name: str) -> bool:
+        return name in self.system_tables
+
+    def system_table(self, name: str):
+        return self.system_tables[name]
+
+    def system_rows(self, name: str) -> list[dict]:
+        return self.system_tables[name].rows()
+
+    # -- statistics --------------------------------------------------------------
+    def analyze_table(self, name: str):
+        """ANALYZE TABLE: measure live statistics for the planner.
+
+        Rescans the table (charged like any full scan), snapshots the
+        measured row count, envelope, time extent, index sizes, and
+        per-region key distribution into a
+        :class:`~repro.core.stats.TableStats` on ``table.stats``, which
+        the cost-based planner prefers over the grow-only inline stats.
+        Returns ``(stats, job)``.
+        """
+        from repro.core.stats import collect_table_stats
+        table = self.table(name)
+        job = self.cluster.job()
+        stats = collect_table_stats(table, job,
+                                    now_ms=self.events.now_ms)
+        table.stats = stats
+        return stats, job
 
     # -- index configuration ----------------------------------------------------
     def _default_index_names(self, schema: Schema) -> list[str]:
@@ -213,7 +268,9 @@ class JustEngine:
         return name in self._tables
 
     def table_names(self, prefix: str = "") -> list[str]:
-        return [m.name for m in self.catalog.list_tables(prefix)]
+        """User-table names (``sys.*`` system tables are not listed)."""
+        return [m.name for m in self.catalog.list_tables(prefix)
+                if m.kind != "system"]
 
     # -- views ----------------------------------------------------------------------
     def create_view(self, name: str, dataframe: DataFrame,

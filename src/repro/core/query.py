@@ -77,15 +77,30 @@ def estimate_scan_cost_ms(table, strategy_name: str, query: STQuery,
          + selectivity x index bytes read from disk (parallel).
     This is deliberately the same arithmetic the cost model charges at
     execution time, so the planner optimizes the metric it is judged on.
+
+    When the table carries an ``ANALYZE TABLE`` snapshot
+    (``table.stats``), the measured time extent, envelope, index sizes,
+    and per-index server spread are used instead of the grow-only
+    inline statistics — deletes and shifting hot ranges poison the
+    inline extents, and a re-ANALYZE is how the planner recovers.
     """
     strategy = table.strategies[strategy_name]
     if not strategy.supports(query):
         return float("inf")
     num_ranges = len(strategy.ranges(query))
-    selectivity = strategy.estimate_selectivity(query, table.time_extent,
-                                                table.data_envelope)
-    index_bytes = table.index_storage_bytes(strategy_name)
-    servers = max(1, table.store.num_servers)
+    stats = getattr(table, "stats", None)
+    if stats is not None:
+        selectivity = strategy.estimate_selectivity(
+            query, stats.time_extent, stats.data_envelope)
+        index_bytes = stats.index_bytes.get(
+            strategy_name, table.index_storage_bytes(strategy_name))
+        servers = max(1, stats.index_servers.get(
+            strategy_name, table.store.num_servers))
+    else:
+        selectivity = strategy.estimate_selectivity(
+            query, table.time_extent, table.data_envelope)
+        index_bytes = table.index_storage_bytes(strategy_name)
+        servers = max(1, table.store.num_servers)
     seek_ms = -(-num_ranges // servers) * model.seek_ms
     read_ms = model.disk_read_ms(int(selectivity * index_bytes)) / servers
     return seek_ms + read_ms

@@ -1,0 +1,105 @@
+"""Measured table statistics for the cost-based planner (``ANALYZE TABLE``).
+
+The statistics a :class:`~repro.core.tables.CommonTable` maintains inline
+(``row_count``, ``data_envelope``, ``time_extent``) are grow-only:
+deletes decrement the row count but cannot shrink the envelope or the
+time extent, so a table whose hot range moved — or that had outliers
+deleted — keeps planning against a stale, over-wide picture.  ``ANALYZE
+TABLE`` rescans the live rows and snapshots *measured* statistics into a
+:class:`TableStats`, which :func:`~repro.core.query.estimate_scan_cost_ms`
+prefers over the inline guesses (the AeroMesa / PostgreSQL ``ANALYZE``
+role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.envelope import Envelope
+
+
+@dataclass
+class RegionDistribution:
+    """Key-distribution of one physical region of the feature-id table."""
+
+    region_id: int
+    server: int
+    entries: int
+    bytes: int
+
+    def as_dict(self) -> dict:
+        return {"region_id": self.region_id, "server": self.server,
+                "entries": self.entries, "bytes": self.bytes}
+
+
+@dataclass
+class TableStats:
+    """One ``ANALYZE TABLE`` snapshot."""
+
+    table: str
+    row_count: int = 0
+    data_envelope: Envelope | None = None
+    time_extent: tuple[float, float] | None = None
+    #: Measured index storage, per strategy name.
+    index_bytes: dict[str, int] = field(default_factory=dict)
+    #: Distinct servers hosting each index's regions (scan parallelism).
+    index_servers: dict[str, int] = field(default_factory=dict)
+    #: Per-region live-entry distribution of the feature-id table.
+    distribution: list[RegionDistribution] = field(default_factory=list)
+    #: Simulated clock at snapshot time.
+    analyzed_at_ms: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "table": self.table,
+            "row_count": self.row_count,
+            "data_envelope": None if self.data_envelope is None
+            else [self.data_envelope.min_lng, self.data_envelope.min_lat,
+                  self.data_envelope.max_lng, self.data_envelope.max_lat],
+            "time_extent": None if self.time_extent is None
+            else list(self.time_extent),
+            "index_bytes": dict(self.index_bytes),
+            "index_servers": dict(self.index_servers),
+            "distribution": [d.as_dict() for d in self.distribution],
+            "analyzed_at_ms": self.analyzed_at_ms,
+        }
+
+
+def collect_table_stats(table, job=None, ctx=None,
+                        now_ms: float = 0.0) -> TableStats:
+    """Measure a table's statistics from its live rows.
+
+    Performs a full scan of the feature-id table (charged to ``job``
+    like any query), recomputes the envelope / time extent from what is
+    actually stored, and records per-index storage and the per-region
+    key distribution.
+    """
+    stats = TableStats(table=table.name, analyzed_at_ms=now_ms)
+    envelope: Envelope | None = None
+    extent: tuple[float, float] | None = None
+    count = 0
+    for row in table.full_scan(job, ctx):
+        count += 1
+        env = table.record_envelope(row)
+        if env is not None:
+            envelope = env if envelope is None else envelope.expand(env)
+        row_extent = table.record_time_extent(row)
+        if row_extent is not None:
+            if extent is None:
+                extent = row_extent
+            else:
+                extent = (min(extent[0], row_extent[0]),
+                          max(extent[1], row_extent[1]))
+    stats.row_count = count
+    stats.data_envelope = envelope
+    stats.time_extent = extent
+    for sname in table.strategies:
+        stats.index_bytes[sname] = table.index_storage_bytes(sname)
+        stats.index_servers[sname] = max(
+            1, len(table._index_tables[sname].servers_used()))
+    for region in table._id_table.regions():
+        stats.distribution.append(RegionDistribution(
+            region_id=region.region_id, server=region.server,
+            entries=len(region.all_entries()),
+            bytes=region.total_bytes))
+    return stats

@@ -1,0 +1,185 @@
+"""Virtual ``sys.*`` system tables (the ``performance_schema`` role).
+
+Each system table is a named, read-only row provider over live engine
+state — metrics, regions, catalog, events, slow queries, sessions —
+registered in the catalog (kind ``"system"``) so ``SHOW``/``DESC`` see
+it, resolved by the SQL analyzer ahead of user-namespace prefixing, and
+executed as an in-memory DataFrame scan so WHERE / ORDER BY / LIMIT /
+GROUP BY work on it unchanged::
+
+    SELECT * FROM sys.regions ORDER BY read_rate DESC LIMIT 5
+    SELECT kind, count(*) FROM sys.events GROUP BY kind
+
+Providers are plain callables returning ``list[dict]``; the engine
+installs cluster-level ones at construction and the service layer
+re-registers ``sys.sessions`` / ``sys.slow_queries`` with live
+server-backed providers when a :class:`~repro.service.server.JustServer`
+wraps the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schema import Field, FieldType, Schema
+from repro.observability.metrics import Counter, Gauge, Histogram
+
+#: Column name -> field type, for the catalog schemas of system tables.
+_LONG = FieldType.LONG
+_DOUBLE = FieldType.DOUBLE
+_STRING = FieldType.STRING
+
+
+@dataclass(frozen=True)
+class SystemTable:
+    """One virtual table: a name, fixed columns, and a row provider."""
+
+    name: str
+    columns: tuple[str, ...]
+    provider: object          # () -> list[dict]
+    description: str = ""
+    types: tuple[FieldType, ...] = ()
+
+    def rows(self) -> list[dict]:
+        return self.provider()
+
+    def schema(self) -> Schema:
+        types = self.types or tuple(_STRING for _ in self.columns)
+        return Schema([Field(name, ftype)
+                       for name, ftype in zip(self.columns, types)])
+
+
+def _metrics_rows(engine) -> list[dict]:
+    rows = []
+    for key, metric in engine.metrics.items():
+        if isinstance(metric, Histogram):
+            stats = metric.as_dict()
+            rows.append({"name": key, "kind": "histogram",
+                         "value": stats["mean"], "count": stats["count"],
+                         "sum": stats["sum"], "mean": stats["mean"],
+                         "p50": stats["p50"], "p95": stats["p95"],
+                         "p99": stats["p99"]})
+        else:
+            kind = "counter" if isinstance(metric, Counter) else "gauge"
+            rows.append({"name": key, "kind": kind, "value": metric.value,
+                         "count": None, "sum": None, "mean": None,
+                         "p50": None, "p95": None, "p99": None})
+    return rows
+
+
+def _region_rows(engine) -> list[dict]:
+    now_ms = engine.events.now_ms
+    rows = []
+    for kvtable in engine.store.tables():
+        for region in kvtable.regions():
+            rows.append({
+                "table": kvtable.name,
+                "region_id": region.region_id,
+                "server": region.server,
+                "start_key": region.start_key.hex(),
+                "end_key": None if region.end_key is None
+                else region.end_key.hex(),
+                "memstore_bytes": region.memstore.size_bytes,
+                "sstable_bytes": region.disk_bytes,
+                "sstables": len(region.sstables),
+                "reads": region.reads,
+                "writes": region.writes,
+                "read_rate": round(
+                    region.read_rate.rate_per_s(now_ms), 6),
+                "write_rate": round(
+                    region.write_rate.rate_per_s(now_ms), 6),
+            })
+    return rows
+
+
+def _table_rows(engine) -> list[dict]:
+    rows = []
+    for meta in engine.catalog.list_tables():
+        if meta.kind == "system":
+            continue
+        table = engine._tables.get(meta.name)
+        if table is None:
+            continue
+        stats = getattr(table, "stats", None)
+        rows.append({
+            "name": meta.name,
+            "kind": meta.kind,
+            "plugin_type": meta.plugin_type,
+            "indexes": ",".join(meta.index_names),
+            "row_count": table.row_count,
+            "regions": sum(t.num_regions
+                           for t in _physical_tables(table)),
+            "storage_bytes": table.storage_bytes(),
+            "analyzed_rows": None if stats is None else stats.row_count,
+        })
+    return rows
+
+
+def _physical_tables(table):
+    return ([table._id_table] + list(table._index_tables.values())
+            + list(table._attr_tables.values()))
+
+
+def _event_rows(engine) -> list[dict]:
+    return engine.events.rows()
+
+
+def _empty_rows() -> list[dict]:
+    return []
+
+
+#: (name, columns, types, description) for every built-in system table.
+SYSTEM_TABLE_SPECS = [
+    ("sys.metrics",
+     ("name", "kind", "value", "count", "sum", "mean", "p50", "p95",
+      "p99"),
+     (_STRING, _STRING, _DOUBLE, _LONG, _DOUBLE, _DOUBLE, _DOUBLE,
+      _DOUBLE, _DOUBLE),
+     "Every registered metric (counters, gauges, histogram quantiles)."),
+    ("sys.regions",
+     ("table", "region_id", "server", "start_key", "end_key",
+      "memstore_bytes", "sstable_bytes", "sstables", "reads", "writes",
+      "read_rate", "write_rate"),
+     (_STRING, _LONG, _LONG, _STRING, _STRING, _LONG, _LONG, _LONG,
+      _LONG, _LONG, _DOUBLE, _DOUBLE),
+     "Per-region key range, placement, size, and decayed hotness."),
+    ("sys.tables",
+     ("name", "kind", "plugin_type", "indexes", "row_count", "regions",
+      "storage_bytes", "analyzed_rows"),
+     (_STRING, _STRING, _STRING, _STRING, _LONG, _LONG, _LONG, _LONG),
+     "Catalog tables with live size and ANALYZE snapshots."),
+    ("sys.events",
+     ("seq", "sim_ms", "kind", "table", "region_id", "server",
+      "detail"),
+     (_LONG, _DOUBLE, _STRING, _STRING, _LONG, _LONG, _STRING),
+     "The bounded cluster event log (flush/compaction/split/...)."),
+    ("sys.slow_queries",
+     ("seq", "user", "sim_ms", "statement"),
+     (_LONG, _STRING, _DOUBLE, _STRING),
+     "Statements over the slow-query threshold."),
+    ("sys.sessions",
+     ("session_id", "user", "created_at", "idle_s"),
+     (_STRING, _STRING, _DOUBLE, _DOUBLE),
+     "Active service-layer user sessions."),
+]
+
+
+def install_system_tables(engine) -> None:
+    """Register the built-in ``sys.*`` tables on a fresh engine.
+
+    ``sys.sessions`` and ``sys.slow_queries`` are installed with empty
+    providers here (they are service-layer concepts); a
+    ``JustServer`` re-registers them with live providers.
+    """
+    providers = {
+        "sys.metrics": lambda: _metrics_rows(engine),
+        "sys.regions": lambda: _region_rows(engine),
+        "sys.tables": lambda: _table_rows(engine),
+        "sys.events": lambda: _event_rows(engine),
+        "sys.slow_queries": _empty_rows,
+        "sys.sessions": _empty_rows,
+    }
+    for name, columns, types, description in SYSTEM_TABLE_SPECS:
+        engine.register_system_table(name, columns, providers[name],
+                                     description=description,
+                                     types=types)

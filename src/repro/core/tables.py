@@ -62,9 +62,13 @@ class CommonTable:
                 f"{name}__attr_{field_name}")
         # Data statistics maintained on insert: used by the planner to
         # bound time-only queries and by k-NN to bound the search area.
+        # These are grow-only (deletes never shrink the envelope or the
+        # time extent); ANALYZE TABLE snapshots measured statistics into
+        # ``stats``, which the cost-based planner prefers when present.
         self.row_count = 0
         self.data_envelope: Envelope | None = None
         self.time_extent: tuple[float, float] | None = None
+        self.stats = None  # TableStats from the last ANALYZE TABLE
 
     # -- record projection (overridden by plugin tables) ---------------------
     def record_geometry(self, row: dict) -> Geometry | None:

@@ -106,4 +106,13 @@ def recover_server(store, server: int,
         # re-insert each edit and reopen each region.
         + report.replayed_records * model.kv_put_us * scale / 1000.0
         + report.regions_reassigned * model.region_reopen_ms)
+    events = getattr(store, "events", None)
+    if events is not None:
+        from repro.observability.events import FailoverEvent
+        events.emit(FailoverEvent(
+            server=server,
+            regions_reassigned=report.regions_reassigned,
+            replayed_records=report.replayed_records,
+            discarded_records=report.discarded_records,
+            recovery_ms=round(report.recovery_ms, 3)))
     return report

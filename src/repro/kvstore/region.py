@@ -10,6 +10,12 @@ from repro.kvstore.iostats import IOStats
 from repro.kvstore.memstore import MemStore
 from repro.kvstore.sstable import DEFAULT_BLOCK_BYTES, SSTable
 from repro.kvstore.wal import WriteAheadLog
+from repro.observability.events import (
+    CompactionEvent,
+    DecayedRate,
+    FlushEvent,
+    WalCheckpointEvent,
+)
 
 _REGION_IDS = itertools.count()
 
@@ -34,7 +40,8 @@ class Region:
                  flush_bytes: int = DEFAULT_FLUSH_BYTES,
                  block_bytes: int = DEFAULT_BLOCK_BYTES,
                  wal: WriteAheadLog | None = None,
-                 cache_lookup=None):
+                 cache_lookup=None, *,
+                 events=None, table: str = ""):
         self.region_id = next(_REGION_IDS)
         self.start_key = start_key
         self.end_key = end_key
@@ -48,10 +55,32 @@ class Region:
         #: Without it (standalone regions in tests) nothing is evicted,
         #: matching the store-less construction signature.
         self.cache_lookup = cache_lookup
+        #: Cluster event log (None for standalone regions in tests) and
+        #: the owning table's name, for flush/compaction events.
+        self.events = events
+        self.table = table
         #: Highest WAL sequence number absorbed into this region.
         self.max_seqno = 0
         self.memstore = MemStore()
         self.sstables: list[SSTable] = []  # oldest first
+        #: Hotness accounting for ``sys.regions``: lifetime counters plus
+        #: exponentially-decayed per-second rates on the simulated clock.
+        self.reads = 0
+        self.writes = 0
+        self.read_rate = DecayedRate()
+        self.write_rate = DecayedRate()
+
+    def _now_ms(self) -> float:
+        return self.events.now_ms if self.events is not None else 0.0
+
+    def record_read(self) -> None:
+        """Count one read visit (a get, or one scan touching the region)."""
+        self.reads += 1
+        self.read_rate.record(self._now_ms())
+
+    def record_write(self) -> None:
+        self.writes += 1
+        self.write_rate.record(self._now_ms())
 
     # -- routing -----------------------------------------------------------
     def owns(self, key: bytes) -> bool:
@@ -73,6 +102,7 @@ class Region:
             seqno: int | None = None) -> None:
         if seqno is not None:
             self.max_seqno = max(self.max_seqno, seqno)
+        self.record_write()
         self.memstore.put(key, value)
         if self.memstore.size_bytes >= self._flush_bytes:
             self.flush()
@@ -81,12 +111,22 @@ class Region:
         """Persist the memstore as a new SSTable run."""
         if not len(self.memstore):
             return
+        flushed_bytes = self.memstore.size_bytes
         entries = list(self.memstore.items_sorted())
         self.sstables.append(
             SSTable(entries, self._stats, self._block_bytes))
         self.memstore.clear()
+        if self.events is not None:
+            self.events.emit(FlushEvent(
+                table=self.table, region_id=self.region_id,
+                server=self.server, bytes_flushed=flushed_bytes,
+                entries=len(entries)))
         if self.wal is not None:
             self.wal.checkpoint(self.region_id, self.max_seqno)
+            if self.events is not None:
+                self.events.emit(WalCheckpointEvent(
+                    table=self.table, region_id=self.region_id,
+                    server=self.server, seqno=self.max_seqno))
         if len(self.sstables) >= DEFAULT_COMPACT_RUNS:
             self.compact()
 
@@ -100,6 +140,7 @@ class Region:
         """
         if len(self.sstables) <= 1:
             return
+        runs = len(self.sstables)
         merged: dict[bytes, bytes | None] = {}
         read_bytes = 0
         for sstable in self.sstables:  # oldest first: newer overwrite older
@@ -110,6 +151,11 @@ class Region:
         live = [(k, v) for k, v in sorted(merged.items()) if v is not None]
         self.evict_cached_blocks()
         self.sstables = [SSTable(live, self._stats, self._block_bytes)]
+        if self.events is not None:
+            self.events.emit(CompactionEvent(
+                table=self.table, region_id=self.region_id,
+                server=self.server, runs=runs, read_bytes=read_bytes,
+                bytes_after=self.sstables[0].total_bytes))
 
     def evict_cached_blocks(self,
                             sstables: list[SSTable] | None = None) -> int:
@@ -129,6 +175,7 @@ class Region:
 
     # -- read path -----------------------------------------------------------
     def get(self, key: bytes, cache: BlockCache | None) -> bytes | None:
+        self.record_read()
         found, value = self.memstore.get(key)
         if found:
             self._stats.record_memstore_read(

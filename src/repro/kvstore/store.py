@@ -20,6 +20,7 @@ from repro.kvstore.wal import (
     SyncPolicy,
     WriteAheadLog,
 )
+from repro.observability.events import EventLog, SplitEvent
 
 #: Split a region once its data exceeds this many bytes.
 DEFAULT_SPLIT_BYTES = 4 * 1024 * 1024
@@ -38,7 +39,8 @@ class KVTable:
                        flush_bytes=store.flush_bytes,
                        block_bytes=store.block_bytes,
                        wal=store.wal_for(server),
-                       cache_lookup=store.cache_for)
+                       cache_lookup=store.cache_for,
+                       events=store.events, table=name)
         self._regions: list[Region] = [first]
         # _region_starts[i] == _regions[i].start_key, kept sorted for routing
         self._region_starts: list[bytes] = [b""]
@@ -113,6 +115,7 @@ class KVTable:
                     continue
                 raise
             cache = self._store.cache_for(region.server)
+            region.record_read()
             before = self._stats.snapshot() if profile is not None \
                 else None
             region_rows = 0
@@ -192,13 +195,15 @@ class KVTable:
                       flush_bytes=self._store.flush_bytes,
                       block_bytes=self._store.block_bytes,
                       wal=self._store.wal_for(left_server),
-                      cache_lookup=self._store.cache_for)
+                      cache_lookup=self._store.cache_for,
+                      events=self._store.events, table=self.name)
         right = Region(split_key, region.end_key, self._stats,
                        server=right_server,
                        flush_bytes=self._store.flush_bytes,
                        block_bytes=self._store.block_bytes,
                        wal=self._store.wal_for(right_server),
-                       cache_lookup=self._store.cache_for)
+                       cache_lookup=self._store.cache_for,
+                       events=self._store.events, table=self.name)
         # An HBase split creates reference files rather than rewriting
         # data, so the daughters' SSTables are built without write charges.
         left.sstables = [SSTable(entries[:mid], self._stats,
@@ -216,6 +221,11 @@ class KVTable:
         index = self._regions.index(region)
         self._regions[index:index + 1] = [left, right]
         self._region_starts = [r.start_key for r in self._regions]
+        self._store.events.emit(SplitEvent(
+            table=self.name, region_id=region.region_id,
+            server=region.server, left_region_id=left.region_id,
+            right_region_id=right.region_id,
+            split_key=split_key.hex()))
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -257,12 +267,16 @@ class KVStore:
                  wal_periodic_bytes: int = DEFAULT_PERIODIC_BYTES,
                  cost_model=None,
                  fault_injector=None,
-                 metrics=None):
+                 metrics=None,
+                 events=None):
         self.num_servers = num_servers
         self.flush_bytes = flush_bytes
         self.split_bytes = split_bytes
         self.block_bytes = block_bytes
         self.stats = IOStats(metrics=metrics)
+        #: Cluster event log; always present so regions, recovery, and
+        #: the service layer can emit unconditionally.
+        self.events = events if events is not None else EventLog()
         self.wal_policy = wal_policy
         self.cost_model = cost_model
         self.fault_injector = fault_injector

@@ -16,8 +16,26 @@ instrumentation a production HBase/Spark deployment would have:
 * :class:`~repro.observability.slowlog.SlowQueryLog` — a bounded log of
   statements whose simulated latency crossed a configurable threshold
   (MySQL's slow-query log / HBase's responseTooSlow).
+* :class:`~repro.observability.events.EventLog` — a bounded ring of
+  typed cluster events (flush/compaction/split/failover/WAL checkpoint/
+  breaker trip/admission shed/session expiry) stamped on the simulated
+  clock, queryable as the ``sys.events`` system table (the HBase
+  master-UI events page / ``performance_schema`` role).
 """
 
+from repro.observability.events import (
+    AdmissionShedEvent,
+    BreakerTripEvent,
+    CompactionEvent,
+    DecayedRate,
+    Event,
+    EventLog,
+    FailoverEvent,
+    FlushEvent,
+    SessionExpiredEvent,
+    SplitEvent,
+    WalCheckpointEvent,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -28,13 +46,24 @@ from repro.observability.profile import QueryProfile, Span, analyze_rows
 from repro.observability.slowlog import SlowQueryEntry, SlowQueryLog
 
 __all__ = [
+    "AdmissionShedEvent",
+    "BreakerTripEvent",
+    "CompactionEvent",
     "Counter",
+    "DecayedRate",
+    "Event",
+    "EventLog",
+    "FailoverEvent",
+    "FlushEvent",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "QueryProfile",
-    "Span",
-    "analyze_rows",
+    "SessionExpiredEvent",
     "SlowQueryEntry",
     "SlowQueryLog",
+    "Span",
+    "SplitEvent",
+    "WalCheckpointEvent",
+    "analyze_rows",
 ]

@@ -11,11 +11,18 @@ what the benchmark harness needs for tail-latency attribution.
 from __future__ import annotations
 
 
+def _escape_label_value(value) -> str:
+    """Prometheus label-value escaping (backslash first, then quote/LF)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _metric_key(name: str, labels: dict) -> str:
     """Flatten ``name`` + labels into one stable registry key."""
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(f"{k}={_escape_label_value(labels[k])}"
+                     for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -56,12 +63,18 @@ class Histogram:
     ``count``/``sum`` are exact over every observation; quantiles are
     computed over a bounded sample buffer.  When the buffer fills it is
     halved by keeping every second sample (a deterministic decimation
-    rather than a random reservoir, so tests are reproducible); with the
-    default 8192-sample buffer the reproduction's workloads never
-    decimate.
+    rather than a random reservoir, so tests are reproducible), and the
+    sampling *stride* doubles: after ``k`` decimations only every
+    ``2^k``-th new observation is retained, so retained samples keep
+    uniform weight and the buffer stops churning through repeated
+    halvings.  The very latest observation is always kept (provisionally,
+    replaced by its successor when off-stride) so max-style quantiles
+    track the newest data.  With the default 8192-sample buffer the
+    reproduction's workloads never decimate.
     """
 
-    __slots__ = ("name", "count", "sum", "_samples", "_max_samples")
+    __slots__ = ("name", "count", "sum", "_samples", "_max_samples",
+                 "_stride", "_phase", "_tail_provisional")
 
     def __init__(self, name: str, max_samples: int = 8192):
         self.name = name
@@ -69,13 +82,29 @@ class Histogram:
         self.sum = 0.0
         self._samples: list[float] = []
         self._max_samples = max_samples
+        self._stride = 1
+        self._phase = 0
+        self._tail_provisional = False
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.sum += value
-        if len(self._samples) >= self._max_samples:
-            self._samples = self._samples[::2]
-        self._samples.append(value)
+        if self._tail_provisional:
+            # The previous observation was off-stride and kept only so
+            # the buffer tail tracks the latest value; its successor
+            # replaces it.
+            self._samples.pop()
+            self._tail_provisional = False
+        self._phase += 1
+        if self._phase >= self._stride:
+            self._phase = 0
+            if len(self._samples) >= self._max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            self._samples.append(value)
+        else:
+            self._samples.append(value)
+            self._tail_provisional = True
 
     @property
     def mean(self) -> float:
@@ -146,6 +175,11 @@ class MetricsRegistry:
     def __contains__(self, key: str) -> bool:
         return key in self._metrics
 
+    def items(self) -> list[tuple[str, Counter | Gauge | Histogram]]:
+        """(flattened key, metric) pairs, sorted by key."""
+        return [(key, self._metrics[key])
+                for key in sorted(self._metrics)]
+
     def __len__(self) -> int:
         return len(self._metrics)
 
@@ -161,12 +195,19 @@ class MetricsRegistry:
         return out
 
     def render_text(self) -> str:
-        """Prometheus-exposition-style text (one ``name value`` per line)."""
+        """Prometheus-exposition-style text (one ``name value`` per line).
+
+        Histogram stat suffixes attach to the metric *name*, before any
+        label braces (``name_p95{op=scan}``), the only form Prometheus
+        scrapers parse.
+        """
         lines = []
         for key, value in self.snapshot().items():
             if isinstance(value, dict):
+                base, brace, labels = key.partition("{")
+                labelpart = brace + labels
                 for stat, number in value.items():
-                    lines.append(f"{key}_{stat} {number}")
+                    lines.append(f"{base}_{stat}{labelpart} {number}")
             else:
                 lines.append(f"{key} {value}")
         return "\n".join(lines)

@@ -36,6 +36,10 @@ from repro.errors import (
     QueryTimeoutError,
     ServerOverloadedError,
 )
+from repro.observability.events import (
+    AdmissionShedEvent,
+    BreakerTripEvent,
+)
 
 
 # -- deadlines ----------------------------------------------------------------
@@ -203,10 +207,15 @@ class AdmissionController:
         self.shed = 0
         self.peak_in_flight = 0
         self.metrics = None
+        self.events = None
 
     def bind_metrics(self, registry) -> None:
         """Report admissions/sheds/in-flight into a metrics registry."""
         self.metrics = registry
+
+    def bind_events(self, log) -> None:
+        """Emit an :class:`AdmissionShedEvent` per shed into ``log``."""
+        self.events = log
 
     @property
     def in_flight(self) -> int:
@@ -220,6 +229,9 @@ class AdmissionController:
         self.shed += 1
         if self.metrics is not None:
             self.metrics.counter("admission.shed").inc()
+        if self.events is not None:
+            self.events.emit(AdmissionShedEvent(scope=scope, count=count,
+                                                limit=limit))
         raise ServerOverloadedError(scope, count, limit)
 
     def acquire(self, user: str,
@@ -321,10 +333,15 @@ class CircuitBreaker:
         self.times_opened = 0
         self.fast_failures = 0
         self.metrics = None
+        self.events = None
 
     def bind_metrics(self, registry) -> None:
         """Report opens/fast-failures into a metrics registry."""
         self.metrics = registry
+
+    def bind_events(self, log) -> None:
+        """Emit a :class:`BreakerTripEvent` per open into ``log``."""
+        self.events = log
 
     def _count_fast_failure(self) -> None:
         self.fast_failures += 1
@@ -374,6 +391,9 @@ class CircuitBreaker:
             self.times_opened += 1
             if self.metrics is not None:
                 self.metrics.counter("breaker.opened").inc()
+            if self.events is not None:
+                self.events.emit(BreakerTripEvent(
+                    consecutive_failures=self.consecutive_failures))
         self.state = OPEN
         self.opened_at = self._clock()
         self._probes_in_flight = 0

@@ -64,6 +64,8 @@ class JustClient:
         # endpoint next to the faults that caused them.
         if getattr(server, "metrics", None) is not None:
             self.breaker.bind_metrics(server.metrics)
+        if getattr(server, "events", None) is not None:
+            self.breaker.bind_events(server.events)
         self.retries_attempted = 0
         self.reconnects = 0
         self._session_id = server.connect(user)

@@ -98,6 +98,10 @@ class JustHttpServer:
       Prometheus-scrape role).
     * ``GET  /profile``      {limit?} -> {profiles} — recent statement
       traces as span trees (the trace-backend role).
+    * ``GET  /events``       {kind?, limit?} -> {events, total_by_kind}
+      — the structured cluster event log (the master-UI events page).
+    * ``GET  /regions``      {} -> {regions} — per-region placement,
+      size, and decayed read/write hotness (``sys.regions`` over HTTP).
     """
 
     def __init__(self, server: JustServer | None = None,
@@ -140,6 +144,13 @@ class JustHttpServer:
             profiles = self.server.recent_profiles(
                 int(limit) if limit is not None else None)
             return {"profiles": [p.as_dict() for p in profiles]}
+        if path == "/events":
+            limit = request.get("limit")
+            return self.server.events_snapshot(
+                kind=request.get("kind"),
+                limit=int(limit) if limit is not None else None)
+        if path == "/regions":
+            return {"regions": self.server.regions_snapshot()}
         return {"error": f"unknown path {path!r}", "kind": "RouteError"}
 
     def _execute(self, request: dict) -> dict:

@@ -5,6 +5,8 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.engine import JustEngine
+from repro.core.systables import SYSTEM_TABLE_SPECS
+from repro.observability.events import SessionExpiredEvent
 from repro.observability.profile import QueryProfile
 from repro.observability.slowlog import DEFAULT_SLOW_MS, SlowQueryLog
 from repro.resilience import AdmissionController, Deadline, RequestContext
@@ -53,10 +55,23 @@ class JustServer:
         #: the admission controller reports into it too.
         self.metrics = self.engine.metrics
         self.admission.bind_metrics(self.metrics)
+        #: The engine's structured event log; statement latencies advance
+        #: its simulated clock, so region hotness decays with real load.
+        self.events = self.engine.events
+        self.admission.bind_events(self.events)
         #: Statements slower than ``slow_query_ms`` simulated ms land
         #: here with their trace (``None`` disables the log).
         self.slow_query_log = SlowQueryLog(threshold_ms=slow_query_ms)
         self._profiles: deque[QueryProfile] = deque(maxlen=profile_capacity)
+        # The engine installs sys.sessions / sys.slow_queries with empty
+        # providers; the server owns the live state, so rebind them here.
+        providers = {"sys.sessions": self._session_rows,
+                     "sys.slow_queries": self._slow_query_rows}
+        for name, columns, types, description in SYSTEM_TABLE_SPECS:
+            if name in providers:
+                self.engine.register_system_table(
+                    name, columns, providers[name],
+                    description=description, types=types)
 
     def connect(self, user: str) -> str:
         """Open a session for a user; returns the session id."""
@@ -115,9 +130,15 @@ class JustServer:
         self.slow_query_log.observe(statement, user, sim_ms,
                                     breakdown=breakdown,
                                     profile=profile.as_dict())
+        # Statement latencies are the event log's notion of elapsed time;
+        # advancing it here is what makes region hotness rates decay.
+        self.events.advance(sim_ms)
 
     def _expire_stale(self) -> None:
         for session in self.sessions.expire_idle():
+            self.events.emit(SessionExpiredEvent(
+                user=session.user, session_id=session.session_id,
+                idle_s=round(session.idle_seconds(), 3)))
             self._drop_user_views(session)
 
     def _drop_user_views(self, session: UserSession) -> None:
@@ -165,3 +186,24 @@ class JustServer:
     def slow_queries(self) -> list[dict]:
         """The slow-query log as JSON-safe dicts, oldest first."""
         return self.slow_query_log.as_dicts()
+
+    def _session_rows(self) -> list[dict]:
+        return [{"session_id": s.session_id, "user": s.user,
+                 "created_at": round(s.created_at, 3),
+                 "idle_s": round(s.idle_seconds(), 3)}
+                for s in self.sessions.active_sessions()]
+
+    def _slow_query_rows(self) -> list[dict]:
+        return [{"seq": e.seq, "user": e.user,
+                 "sim_ms": round(e.sim_ms, 3), "statement": e.statement}
+                for e in self.slow_query_log.entries()]
+
+    def events_snapshot(self, kind: str | None = None,
+                        limit: int | None = None) -> dict:
+        """JSON-safe event-log dump for the ``/events`` HTTP route."""
+        return {"events": self.events.as_dicts(kind=kind, limit=limit),
+                "total_by_kind": dict(self.events.total_by_kind)}
+
+    def regions_snapshot(self) -> list[dict]:
+        """JSON-safe ``sys.regions`` rows for the ``/regions`` route."""
+        return self.engine.system_rows("sys.regions")

@@ -37,6 +37,7 @@ from repro.sql.logical import (
     ProjectNode,
     ScanNode,
     SortNode,
+    SystemScanNode,
     ViewScanNode,
 )
 
@@ -112,6 +113,11 @@ def _analyze_one_source(engine, source, namespace: str) -> LogicalNode:
     if isinstance(source, SubquerySource):
         return analyze_select(engine, source.select, namespace)
     if isinstance(source, TableSource):
+        if source.name.startswith("sys.") and \
+                engine.has_system_table(source.name):
+            # System tables live outside user namespaces.
+            st = engine.system_table(source.name)
+            return SystemScanNode(source.name, list(st.columns))
         name = namespace + source.name
         if engine.has_view(name):
             view = engine.view(name)

@@ -6,6 +6,7 @@ from repro.core.schema import Field, Schema
 from repro.errors import AnalysisError, ExecutionError
 from repro.sql.analyzer import analyze_select
 from repro.sql.ast import (
+    AnalyzeStmt,
     CreateTableStmt,
     ExplainStmt,
     CreateViewStmt,
@@ -66,6 +67,8 @@ def execute_statement(engine, statement: str,
         return _run_insert(engine, stmt, namespace, ctx)
     if isinstance(stmt, LoadStmt):
         return _run_load(engine, stmt, namespace, ctx)
+    if isinstance(stmt, AnalyzeStmt):
+        return _run_analyze(engine, stmt, namespace, ctx)
     raise ExecutionError(f"unhandled statement {type(stmt).__name__}")
 
 
@@ -172,12 +175,30 @@ def _run_show(engine, stmt: ShowStmt, namespace: str) -> ResultSet:
 
 
 def _run_desc(engine, stmt: DescStmt, namespace: str) -> ResultSet:
+    if stmt.name.startswith("sys.") and \
+            engine.has_system_table(stmt.name):
+        rows = engine.system_table(stmt.name).schema().describe()
+        return ResultSet.from_rows(rows, ["field", "type", "flags"])
     name = namespace + stmt.name
     if engine.has_view(name):
         rows = engine.view(name).describe()
     else:
         rows = engine.catalog.describe(name)
     return ResultSet.from_rows(rows, ["field", "type", "flags"])
+
+
+def _run_analyze(engine, stmt: AnalyzeStmt, namespace: str,
+                 ctx=None) -> ResultSet:
+    if stmt.table.startswith("sys."):
+        raise ExecutionError(
+            f"cannot ANALYZE the virtual system table {stmt.table!r}")
+    stats, job = engine.analyze_table(namespace + stmt.table)
+    if ctx is not None:
+        ctx.bind(job)
+        ctx.charge(0.0, label="driver")
+    return ResultSet.status(
+        f"table {stmt.table} analyzed: {stats.row_count} rows, "
+        f"{len(stats.distribution)} regions", job)
 
 
 # -- DML ------------------------------------------------------------------------------

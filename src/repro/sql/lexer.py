@@ -12,7 +12,7 @@ KEYWORDS = {
     "asc", "desc", "limit", "and", "or", "not", "between", "in", "within",
     "insert", "into", "values", "load", "to", "config", "filter",
     "userdata", "store", "distinct", "having", "join", "on", "null",
-    "true", "false", "is", "like", "explain", "inner", "left",
+    "true", "false", "is", "like", "explain", "inner", "left", "analyze",
 }
 
 _SYMBOLS = ("<=", ">=", "!=", "<>", "::", "(", ")", ",", ".", ";", "=",

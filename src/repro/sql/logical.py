@@ -62,6 +62,18 @@ class ViewScanNode(LogicalNode):
 
 
 @dataclass
+class SystemScanNode(LogicalNode):
+    """Scan of a virtual ``sys.*`` system table (live engine state)."""
+
+    table_name: str
+    columns: list[str]
+    pushed_filter: Expr | None = None
+
+    def describe(self) -> str:
+        return f"SystemScan[{self.table_name}]"
+
+
+@dataclass
 class FilterNode(LogicalNode):
     child: LogicalNode
     predicate: Expr

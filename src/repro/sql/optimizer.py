@@ -45,6 +45,7 @@ from repro.sql.logical import (
     ProjectNode,
     ScanNode,
     SortNode,
+    SystemScanNode,
     ViewScanNode,
 )
 
@@ -176,6 +177,11 @@ def _push_filter_into(child: LogicalNode, predicate: Expr) -> LogicalNode:
             split_conjuncts(child.pushed_filter)
             + split_conjuncts(predicate))
         return ViewScanNode(child.view_name, child.columns, merged)
+    if isinstance(child, SystemScanNode):
+        merged = join_conjuncts(
+            split_conjuncts(child.pushed_filter)
+            + split_conjuncts(predicate))
+        return SystemScanNode(child.table_name, child.columns, merged)
     if isinstance(child, ProjectNode):
         mapping = _passthrough_mapping(child)
         conjuncts = split_conjuncts(predicate)

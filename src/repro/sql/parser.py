@@ -7,6 +7,7 @@ import ast as _pyast
 from repro.errors import ParseError
 from repro.sql.ast import (
     Aliased,
+    AnalyzeStmt,
     ExplainStmt,
     JoinClause,
     Between,
@@ -109,6 +110,7 @@ class _Parser:
             "insert": self._parse_insert,
             "load": self._parse_load,
             "store": self._parse_store,
+            "analyze": self._parse_analyze,
         }
         handler = handlers.get(word)
         if handler is None:
@@ -183,14 +185,13 @@ class _Parser:
 
     def _parse_explain(self) -> ExplainStmt:
         self.expect_keyword("explain")
-        # ANALYZE is not a reserved keyword (tables may use the name),
-        # so it is recognized positionally, like PostgreSQL's grammar.
-        analyze = False
-        if self.peek().kind == "ident" and \
-                self.peek().lowered == "analyze":
-            self.advance()
-            analyze = True
+        analyze = self.accept_keyword("analyze")
         return ExplainStmt(self._parse_select(), analyze=analyze)
+
+    def _parse_analyze(self) -> AnalyzeStmt:
+        self.expect_keyword("analyze")
+        self.expect_keyword("table")
+        return AnalyzeStmt(self._parse_dotted_name())
 
     def _parse_order_item(self) -> tuple[Expr, bool]:
         expr = self._parse_expr()
@@ -221,11 +222,18 @@ class _Parser:
             if self.peek().kind == "ident":
                 alias = self.advance().text
             return SubquerySource(select, alias)
-        name = self.expect_name()
+        name = self._parse_dotted_name()
         alias = None
         if self.peek().kind == "ident":
             alias = self.advance().text
         return TableSource(name, alias)
+
+    def _parse_dotted_name(self) -> str:
+        """A possibly-dotted table name such as ``sys.regions``."""
+        name = self.expect_name()
+        while self.accept_symbol("."):
+            name += "." + self.expect_name()
+        return name
 
     # -- expressions -------------------------------------------------------------------
     def _parse_expr(self) -> Expr:
@@ -453,7 +461,7 @@ class _Parser:
     def _parse_desc(self) -> DescStmt:
         self.advance()  # DESC or DESCRIBE
         self.accept_keyword("table") or self.accept_keyword("view")
-        return DescStmt(self.expect_name())
+        return DescStmt(self._parse_dotted_name())
 
     # -- INSERT ---------------------------------------------------------------------------
     def _parse_insert(self) -> InsertStmt:

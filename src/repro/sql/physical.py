@@ -44,6 +44,7 @@ from repro.sql.logical import (
     ProjectNode,
     ScanNode,
     SortNode,
+    SystemScanNode,
     ViewScanNode,
 )
 from repro.dataframe.functions import AggregateSpec
@@ -110,6 +111,8 @@ def _execute_node(plan: LogicalNode, engine, job, ctx=None) -> DataFrame:
         return _execute_scan(plan, engine, job, ctx)
     if isinstance(plan, ViewScanNode):
         return _execute_view_scan(plan, engine, job)
+    if isinstance(plan, SystemScanNode):
+        return _execute_system_scan(plan, engine, job)
     if isinstance(plan, FilterNode):
         child = execute_plan(plan.child, engine, job, ctx)
         job.charge_cpu_records(child.count())
@@ -162,6 +165,20 @@ def _extra_functions(engine) -> dict:
 def _execute_view_scan(plan: ViewScanNode, engine, job) -> DataFrame:
     view = engine.view(plan.view_name)
     df = view.dataframe
+    job.charge_fixed("spark_stage", engine.cluster.model.spark_stage_ms)
+    job.charge_memory_scan(df.estimated_bytes())
+    if plan.pushed_filter is not None:
+        extra = _extra_functions(engine)
+        df = df.where(lambda row: eval_expr(plan.pushed_filter, row,
+                                            extra) is True)
+    return df
+
+
+def _execute_system_scan(plan: SystemScanNode, engine, job) -> DataFrame:
+    """Materialize a virtual ``sys.*`` table as an in-memory scan."""
+    st = engine.system_table(plan.table_name)
+    rows = st.rows()
+    df = DataFrame.from_rows(rows, list(st.columns))
     job.charge_fixed("spark_stage", engine.cluster.model.spark_stage_ms)
     job.charge_memory_scan(df.estimated_bytes())
     if plan.pushed_filter is not None:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Envelope, JustEngine, Schema, STQuery
+from repro import Envelope, JustEngine, Point, Schema, STQuery
 from repro.core.query import (
     choose_strategy_cost_based,
     estimate_scan_cost_ms,
@@ -99,6 +99,46 @@ class TestCostBasedChoice:
                                         T0 + 86400).rows
             results.append(sorted(r["fid"] for r in got))
         assert results[0] == results[1]
+
+
+class TestAnalyzeChangesPlans:
+    def test_measured_extent_flips_the_index_choice(self):
+        from repro.cluster import CostModel
+        model = CostModel(work_scale=20_000.0, seek_ms=0.0)
+        engine = JustEngine(cost_model=model)
+        engine.create_table(
+            "poi", Schema(list(POI_SCHEMA_FIELDS)),
+            userdata={"geomesa.indices.enabled": "z2,z2t"})
+        engine.insert("poi", make_poi_rows(400, seed=31))
+        table = engine.table("poi")
+        # A since-deleted outlier poisoned the grow-only inline extent:
+        # the table believes it spans ~1000 days when the live data
+        # spans five.
+        engine.insert("poi", [{"fid": 9999, "name": "ghost",
+                               "time": T0 + 1000 * 86400,
+                               "geom": Point(116.3, 39.9)}])
+        table.delete("9999")
+        table.flush()
+        query = STQuery(WINDOW, T0, T0 + 5 * 86400)
+        # Against the poisoned inline extent the query looks like a tiny
+        # temporal slice, so the temporal index wins...
+        before, _q = choose_strategy_cost_based(table, query, model)
+        assert before == "z2t"
+        stats, _job = engine.analyze_table("poi")
+        # ...but measured stats see the true five-day extent, the slice
+        # covers everything, and the spatial index takes over.
+        assert stats.time_extent is not None
+        assert (stats.time_extent[1] - stats.time_extent[0]
+                < table.time_extent[1] - table.time_extent[0])
+        after, _q = choose_strategy_cost_based(table, query, model)
+        assert after == "z2"
+
+    def test_analyze_counts_live_rows_only(self):
+        engine = build_engine()
+        engine.table("poi").delete("7")
+        stats, _job = engine.analyze_table("poi")
+        assert stats.row_count == 399
+        assert sum(d.entries for d in stats.distribution) == 399
 
 
 class TestAdaptiveExecution:

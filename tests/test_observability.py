@@ -76,6 +76,21 @@ class TestMetricsRegistry:
         text = registry.render_text()
         assert "kvstore.blocks_read 6" in text
 
+    def test_histogram_suffix_attaches_before_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("scan_ms", op="scan").observe(4.0)
+        lines = registry.render_text().splitlines()
+        # Prometheus parsers only accept name-suffix-then-braces.
+        assert "scan_ms_count{op=scan} 1" in lines
+        assert "scan_ms_p95{op=scan} 4.0" in lines
+        assert not any("}_p" in line or "}_c" in line for line in lines)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c\nd').inc()
+        text = registry.render_text()
+        assert 'c{path=a\\"b\\\\c\\nd} 1' in text
+
 
 class TestHistogramQuantiles:
     def test_exact_nearest_rank(self):
@@ -112,6 +127,23 @@ class TestHistogramQuantiles:
         assert h.sum == pytest.approx(sum(range(n)))
         assert 0.0 <= h.quantile(0.5) <= float(n - 1)
         assert h.quantile(1.0) == float(n - 1)
+
+    def test_quantiles_track_a_shifting_distribution(self):
+        h = Histogram("lat", max_samples=64)
+        for _ in range(100):
+            h.observe(10.0)
+        assert h.p50 == 10.0
+        for _ in range(300):
+            h.observe(1000.0)
+        assert h.count == 400
+        assert h.sum == pytest.approx(100 * 10.0 + 300 * 1000.0)
+        # Stride-based retention keeps admitting fresh samples after
+        # the buffer overflows, so quantiles follow the new regime
+        # (a "keep the first half" decimation would pin them at 10.0)
+        assert h.p50 == 1000.0
+        assert h.p95 == 1000.0
+        # ... while the old regime stays visible at the low tail.
+        assert h.quantile(0.0) == 10.0
 
 
 # -- trace profiles -----------------------------------------------------------
