@@ -1,0 +1,96 @@
+"""Load balancer: zipfian multi-tenant skew, balancer off vs on.
+
+Not a paper figure — the paper's engine runs on HBase, whose master
+balancer and region splits are what keep a skewed urban workload (a few
+hot tenants carry most traffic) from melting one region server.  This
+benchmark reproduces that layer: fifteen tenant tables on five servers,
+zipf-skewed tenant popularity, and the same seeded run with the
+balancer off and on.  Reported per run:
+
+* max/mean per-server write-load imbalance at the end of the run,
+* the hot tenant's cold full-scan p95 (simulated ms) — spreading its
+  regions over more servers parallelizes the disk reads,
+* balancer activity (moves / splits / merges) and mid-move retries.
+
+Also usable standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_balancer.py [--quick]
+"""
+
+from harness import FigureTable
+
+from repro.balancer.workload import WorkloadConfig, run_workload
+
+_SERIES = {"balancer_off": False, "balancer_on": True}
+
+
+def _record(report, off, on) -> FigureTable:
+    table = FigureTable("Balancer B-1",
+                        "Zipfian multi-tenant skew: balancer off vs on",
+                        "metric")
+    for series, result in (("balancer_off", off), ("balancer_on", on)):
+        table.add(series, "write imbalance (max/mean)",
+                  round(result.write_imbalance, 2))
+        table.add(series, "hot-tenant scan p95 ms",
+                  round(result.scan_p95_ms, 2))
+        table.add(series, "hot-tenant regions", result.hot_tenant_regions)
+        table.add(series, "hot-tenant servers", result.hot_tenant_servers)
+        table.add(series, "moves", result.moves)
+        table.add(series, "splits", result.splits)
+        table.add(series, "merges", result.merges)
+        table.add(series, "writes retried", result.retried_writes)
+    table.add("balancer_on", "imbalance reduction x",
+              round(off.write_imbalance
+                    / max(on.write_imbalance, 1e-9), 2))
+    return report.record(table)
+
+
+def test_balancer_halves_write_imbalance(report, data, benchmark):
+    """The balancer-on run cuts max/mean write imbalance >= 2x and
+    improves the hot tenant's cold-scan tail."""
+    off = data.skewed_workload(balancer_on=False)
+    on = data.skewed_workload(balancer_on=True)
+    _record(report, off, on)
+
+    # Round-robin placement balances region *counts* but not load: the
+    # zipf-hot tenants pile write traffic onto their home servers.
+    assert off.write_imbalance >= 2.0
+    assert off.moves == off.splits == off.merges == 0
+    # The balancer splits the hot tenants and spreads their regions.
+    assert on.moves > 0 and on.splits > 0
+    assert off.write_imbalance / on.write_imbalance >= 2.0
+    assert on.hot_tenant_servers > off.hot_tenant_servers
+    # More servers per hot table -> parallel disk reads -> lower p95.
+    assert on.scan_p95_ms < off.scan_p95_ms
+    benchmark(lambda: run_workload(
+        WorkloadConfig(rounds=4, writes_per_round=400, scan_samples=2),
+        balancer_on=True))
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (CI smoke): record the comparison."""
+    import argparse
+
+    from harness import REPORT
+
+    parser = argparse.ArgumentParser(
+        description="Balancer benchmark: zipfian multi-tenant skew, "
+                    "balancer off vs on.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    args = parser.parse_args(argv)
+    config = WorkloadConfig()
+    if args.quick:
+        config.rounds = 20
+        config.writes_per_round = 1000
+        config.scan_samples = 8
+        config.balancer_interval_ms = 100.0
+    off = run_workload(config, balancer_on=False)
+    on = run_workload(config, balancer_on=True)
+    _record(REPORT, off, on)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -31,6 +31,7 @@ from repro.baselines.base import (
     items_from_orders,
     items_from_trajectories,
 )
+from repro.balancer.workload import WorkloadConfig, run_workload
 from repro.cluster import Cluster, CostModel
 from repro.curves.strategies import STQuery
 from repro.datagen import (
@@ -258,6 +259,17 @@ class FigureData:
                              record_scale=record_scale,
                              kv_put_us=15.0)
         return self._get("cost_model", build)
+
+    # -- multi-tenant skewed workload (balancer benchmark) -------------------
+    def skewed_workload(self, balancer_on: bool):
+        """Zipfian multi-tenant workload run, balancer off or on.
+
+        Both runs share one seeded :class:`WorkloadConfig`, so the only
+        difference between the cached results is the balancer itself.
+        """
+        key = f"skewed_workload_{'on' if balancer_on else 'off'}"
+        return self._get(key, lambda: run_workload(
+            WorkloadConfig(), balancer_on=balancer_on))
 
     def cluster(self) -> Cluster:
         return Cluster(memory_budget_bytes=self.memory_budget,

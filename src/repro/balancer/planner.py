@@ -1,0 +1,165 @@
+"""Balancer planner: turn load summaries into move/split/merge plans.
+
+Pure decision logic — no side effects on the store — so every plan is
+unit-testable against synthetic loads.  The executor applies plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.balancer.policy import BalancerPolicy, ServerLoad, imbalance
+
+
+@dataclass
+class MoveAction:
+    """Move ``region`` from its hot server to ``dest``."""
+
+    table: str
+    region: object
+    source: int
+    dest: int
+    reason: str
+
+
+@dataclass
+class SplitAction:
+    """Split a write-hot ``region`` so its halves can spread."""
+
+    table: str
+    region: object
+    reason: str
+
+
+@dataclass
+class MergeAction:
+    """Merge two cold adjacent regions of ``table``."""
+
+    table: str
+    left: object
+    right: object
+    reason: str
+
+
+def plan_splits(store, policy: BalancerPolicy,
+                now_ms: float) -> list[SplitAction]:
+    """Pick write-hot regions worth splitting, hottest first."""
+    candidates = []
+    for table in store.tables():
+        if table.num_regions >= policy.split_max_regions:
+            continue
+        for region in table.regions():
+            rate = region.write_rate.rate_per_s(now_ms)
+            if rate >= policy.split_write_rate \
+                    and region.total_bytes >= policy.split_min_bytes:
+                candidates.append((rate, table.name, region))
+    candidates.sort(key=lambda c: -c[0])
+    return [SplitAction(table=name, region=region,
+                        reason=f"write_rate={rate:.1f}/s >= "
+                               f"{policy.split_write_rate:.1f}/s")
+            for rate, name, region in
+            candidates[:policy.max_splits_per_run]]
+
+
+def plan_moves(store, policy: BalancerPolicy,
+               loads: dict[int, ServerLoad],
+               now_ms: float) -> list[MoveAction]:
+    """Greedy donor->receiver moves while the cluster stays imbalanced.
+
+    Each step takes the hottest movable region off the most loaded
+    server and projects it onto the least loaded one; projected loads
+    are updated so one run's moves do not all pile onto the same
+    receiver.  Stops when the projected imbalance drops under the
+    policy's trigger ratio, when a move would not help (donor no hotter
+    than receiver), or at ``max_moves_per_run``.
+    """
+    if len(loads) < 2:
+        return []
+    projected = {s: load.load(policy) for s, load in loads.items()}
+    region_rates: dict[int, list[tuple[float, str, object]]] = \
+        {s: [] for s in loads}
+    for table in store.tables():
+        for region in table.regions():
+            if region.server not in region_rates:
+                continue
+            rate = policy.region_load(
+                region.read_rate.rate_per_s(now_ms),
+                region.write_rate.rate_per_s(now_ms))
+            region_rates[region.server].append((rate, table.name,
+                                                region))
+    moves: list[MoveAction] = []
+    moved_ids: set[int] = set()
+    while len(moves) < policy.max_moves_per_run:
+        mean = sum(projected.values()) / len(projected)
+        if mean <= 0.0:
+            break
+        donor = max(projected, key=projected.get)
+        receiver = min(projected, key=projected.get)
+        if projected[donor] < policy.imbalance_ratio * mean:
+            break  # balanced enough
+        gap = projected[donor] - projected[receiver]
+        best = None
+        for rate, name, region in region_rates[donor]:
+            if region.region_id in moved_ids \
+                    or rate < policy.min_move_rate:
+                continue
+            # Moving more than the gap would just swap the hotspot.
+            if rate >= gap:
+                continue
+            if best is None or rate > best[0]:
+                best = (rate, name, region)
+        if best is None:
+            break
+        rate, name, region = best
+        moves.append(MoveAction(
+            table=name, region=region, source=donor, dest=receiver,
+            reason=f"server {donor} load {projected[donor]:.1f} > "
+                   f"{policy.imbalance_ratio:.2f}x mean {mean:.1f}"))
+        moved_ids.add(region.region_id)
+        projected[donor] -= rate
+        projected[receiver] += rate
+        region_rates[receiver].append((rate, name, region))
+    return moves
+
+
+def plan_merges(store, policy: BalancerPolicy,
+                now_ms: float) -> list[MergeAction]:
+    """Pick cold adjacent region pairs to merge, at most one per table.
+
+    One merge per table per run keeps the plan valid: merging a pair
+    invalidates the adjacency of any overlapping pair picked from the
+    same snapshot.
+    """
+    merges: list[MergeAction] = []
+    for table in store.tables():
+        regions = table.regions()
+        if len(regions) <= policy.min_regions_per_table:
+            continue
+        for left, right in zip(regions, regions[1:]):
+            age = min(now_ms - left.created_ms,
+                      now_ms - right.created_ms)
+            if age < policy.merge_min_age_ms:
+                continue
+            lrate = policy.region_load(
+                left.read_rate.rate_per_s(now_ms),
+                left.write_rate.rate_per_s(now_ms))
+            rrate = policy.region_load(
+                right.read_rate.rate_per_s(now_ms),
+                right.write_rate.rate_per_s(now_ms))
+            if max(lrate, rrate) > policy.merge_max_rate:
+                continue
+            combined = left.total_bytes + right.total_bytes
+            if combined > policy.merge_max_bytes:
+                continue
+            merges.append(MergeAction(
+                table=table.name, left=left, right=right,
+                reason=f"both cold (<= {policy.merge_max_rate}/s), "
+                       f"{combined}B combined"))
+            break  # one merge per table per run
+        if len(merges) >= policy.max_merges_per_run:
+            break
+    return merges
+
+
+__all__ = ["MoveAction", "SplitAction", "MergeAction",
+           "plan_splits", "plan_moves", "plan_merges", "imbalance"]

@@ -1,0 +1,117 @@
+"""Balancer policy: thresholds and per-server load aggregation.
+
+The HBase master's balancer decides from per-server load summaries;
+this module builds those summaries from the live store — region counts,
+stored bytes, and the decayed read/write rates each
+:class:`~repro.kvstore.region.Region` already maintains — and holds the
+knobs the planner steers by.  Everything is measured on the simulated
+clock, so hotness decays exactly as query traffic advances time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BalancerPolicy:
+    """The knobs of one balancer instance (HBase ``hbase.master.*``)."""
+
+    #: Minimum simulated ms between balancer runs.
+    interval_ms: float = 5_000.0
+
+    #: Blend of write and read rates that defines a region's (and a
+    #: server's) load; writes weigh more because they cost WAL + flush.
+    write_weight: float = 1.0
+    read_weight: float = 0.5
+
+    #: A server whose load exceeds ``imbalance_ratio`` x the mean is a
+    #: move donor (HBase's ``slop``, expressed as a ratio).
+    imbalance_ratio: float = 1.25
+    #: Moves per run, bounded so one run never reshuffles the cluster.
+    max_moves_per_run: int = 4
+    #: Ignore regions colder than this when picking moves (moving a
+    #: dead-cold region cannot fix a load imbalance).
+    min_move_rate: float = 0.01
+
+    #: Write rate (events/s) above which a region is split so its halves
+    #: can be spread (the load-triggered split, not the size one).
+    split_write_rate: float = 40.0
+    #: Never split regions below this size; their halves would be noise.
+    split_min_bytes: int = 8 * 1024
+    max_splits_per_run: int = 2
+    #: Stop load-splitting a table once it has this many regions — a
+    #: persistent hotspot must not fragment a table without bound.
+    split_max_regions: int = 32
+
+    #: Two adjacent regions merge when both are colder than this ...
+    merge_max_rate: float = 0.005
+    #: ... and their combined size stays below this ...
+    merge_max_bytes: int = 64 * 1024
+    #: ... and both are at least this old.  A just-created (pre-split)
+    #: or just-split region is cold only because it has not lived yet.
+    merge_min_age_ms: float = 60_000.0
+    max_merges_per_run: int = 2
+    #: Keep at least this many regions per kv-table.
+    min_regions_per_table: int = 1
+
+    def region_load(self, read_rate: float, write_rate: float) -> float:
+        return (self.write_weight * write_rate
+                + self.read_weight * read_rate)
+
+
+@dataclass
+class ServerLoad:
+    """One region server's aggregated load, as the balancer sees it."""
+
+    server: int
+    regions: int = 0
+    bytes: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_rate: float = 0.0
+    write_rate: float = 0.0
+
+    def load(self, policy: BalancerPolicy) -> float:
+        return policy.region_load(self.read_rate, self.write_rate)
+
+
+def server_loads(store, now_ms: float | None = None,
+                 ) -> dict[int, ServerLoad]:
+    """Aggregate per-region hotness into per-server load summaries.
+
+    Every placeable server gets an entry (an empty server is exactly
+    the receiver a move wants); regions on dead/recovering servers are
+    excluded — failover, not the balancer, is responsible for them.
+    """
+    if now_ms is None:
+        now_ms = store.events.now_ms
+    loads = {s: ServerLoad(s) for s in store.placeable_servers}
+    for table in store.tables():
+        for region in table.regions():
+            load = loads.get(region.server)
+            if load is None:
+                continue
+            load.regions += 1
+            load.bytes += region.total_bytes
+            load.reads += region.reads
+            load.writes += region.writes
+            load.read_rate += region.read_rate.rate_per_s(now_ms)
+            load.write_rate += region.write_rate.rate_per_s(now_ms)
+    return loads
+
+
+def imbalance(loads: dict[int, ServerLoad],
+              policy: BalancerPolicy) -> float:
+    """Max/mean server load ratio; 1.0 is perfectly balanced.
+
+    Returns 1.0 for an idle (or empty) cluster: with no load there is
+    nothing to balance.
+    """
+    if not loads:
+        return 1.0
+    values = [load.load(policy) for load in loads.values()]
+    mean = sum(values) / len(values)
+    if mean <= 0.0:
+        return 1.0
+    return max(values) / mean

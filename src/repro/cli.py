@@ -26,6 +26,10 @@ Cluster-introspection demo (region heatmap over the sys.* tables)::
 
     python -m repro top --once
 
+Load-balancer demo (zipfian multi-tenant skew, balancer off vs on)::
+
+    python -m repro balance --quick
+
 The shell keeps one engine (and one user session) for its lifetime, prints
 result sets as aligned tables, and reports each query's simulated
 latency.  ``--user`` picks the namespace; multiple shells could share an
@@ -173,6 +177,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if argv and argv[0] == "top":
         from repro.observability.top import main as top_main
         return top_main(argv[1:], out=out)
+    if argv and argv[0] == "balance":
+        from repro.balancer.demo import main as balance_main
+        return balance_main(argv[1:], out=out)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="JustQL shell for the JUST reproduction engine.")

@@ -128,10 +128,30 @@ class JustEngine:
         self.adaptive_execution = adaptive_execution
         self.oltp_threshold_bytes = oltp_threshold_bytes
         self.local_overhead_ms = local_overhead_ms
+        #: Optional hot-region load balancer (see :meth:`enable_balancer`);
+        #: None means placement stays pure round-robin.
+        self.balancer = None
         #: Virtual ``sys.*`` tables: live row providers over engine state.
         self.system_tables: dict[str, object] = {}
         from repro.core.systables import install_system_tables
         install_system_tables(self)
+
+    # -- load balancing ----------------------------------------------------------
+    def enable_balancer(self, policy=None):
+        """Attach a hot-region load balancer to this engine's store.
+
+        Returns the :class:`repro.balancer.Balancer`.  The service layer
+        ticks it after every statement (the master's balancer chore on
+        the simulated clock); library users call ``balancer.tick()`` or
+        ``balancer.maybe_tick()`` themselves.  Its decisions surface in
+        ``sys.balancer`` and as events in ``sys.events``.
+        """
+        from repro.balancer import Balancer
+        if self.balancer is None:
+            self.balancer = Balancer(self.store, policy)
+        elif policy is not None:
+            self.balancer.policy = policy
+        return self.balancer
 
     # -- system tables -----------------------------------------------------------
     def register_system_table(self, name: str, columns, provider,
@@ -225,9 +245,12 @@ class JustEngine:
             raise TableExistsError(name)
         index_names = self._index_names(schema, userdata)
         strategies = self._build_strategies(index_names, userdata)
+        presplit, salt_buckets = _placement_options(userdata)
         table = CommonTable(name, schema, self.store, strategies,
                             self.compression_enabled,
-                            attribute_fields=_attribute_fields(userdata))
+                            attribute_fields=_attribute_fields(userdata),
+                            presplit=presplit,
+                            salt_buckets=salt_buckets)
         self.catalog.create(TableMeta(name, "common", schema, index_names,
                                       userdata=userdata or {}))
         self._tables[name] = table
@@ -245,8 +268,10 @@ class JustEngine:
         else:
             index_names = ["xz2", "xz2t"]
         strategies = self._build_strategies(index_names, userdata)
+        presplit, salt_buckets = _placement_options(userdata)
         table = cls(name, self.store, strategies, self.compression_enabled,
-                    attribute_fields=_attribute_fields(userdata))
+                    attribute_fields=_attribute_fields(userdata),
+                    presplit=presplit, salt_buckets=salt_buckets)
         self.catalog.create(TableMeta(name, "plugin", table.schema,
                                       index_names, plugin_type=plugin_type,
                                       userdata=userdata or {}))
@@ -489,6 +514,25 @@ class JustEngine:
         """
         from repro.sql.executor import execute_statement
         return execute_statement(self, statement, namespace, ctx)
+
+
+def _placement_options(userdata: dict | None) -> tuple[int, int]:
+    """Parse ``WITH (presplit=N, salt_buckets=K)`` placement userdata.
+
+    The parser folds the WITH clause into userdata as ``just.presplit``
+    / ``just.salt_buckets``, so USERDATA-only clients get the same
+    options.  Validation of the ranges lives in :class:`KVTable`.
+    """
+    if not userdata:
+        return 0, 0
+    try:
+        presplit = int(userdata.get("just.presplit", 0))
+        salt_buckets = int(userdata.get("just.salt_buckets", 0))
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(
+            f"just.presplit / just.salt_buckets must be integers: "
+            f"{exc}") from None
+    return presplit, salt_buckets
 
 
 def _attribute_fields(userdata: dict | None) -> list[str] | None:

@@ -44,11 +44,13 @@ class TrajectoryPlugin(CommonTable):
 
     def __init__(self, name, store, strategies,
                  compression_enabled: bool = True,
-                 attribute_fields: list[str] | None = None):
+                 attribute_fields: list[str] | None = None,
+                 presplit: int = 0, salt_buckets: int = 0):
         super().__init__(name, TRAJECTORY_SCHEMA, store, strategies,
                          compression_enabled,
                          attribute_fields=attribute_fields
-                         if attribute_fields is not None else ["oid"])
+                         if attribute_fields is not None else ["oid"],
+                         presplit=presplit, salt_buckets=salt_buckets)
 
     def trajectories_of(self, oid: str, job=None) -> list[dict]:
         """All trajectories of one moving object (the ID query)."""
@@ -134,12 +136,14 @@ class GeofencePlugin(CommonTable):
 
     def __init__(self, name, store, strategies,
                  compression_enabled: bool = True,
-                 attribute_fields: list[str] | None = None):
+                 attribute_fields: list[str] | None = None,
+                 presplit: int = 0, salt_buckets: int = 0):
         super().__init__(name, GEOFENCE_SCHEMA, store, strategies,
                          compression_enabled,
                          attribute_fields=attribute_fields
                          if attribute_fields is not None
-                         else ["category"])
+                         else ["category"],
+                         presplit=presplit, salt_buckets=salt_buckets)
 
     def record_time_extent(self, row: dict) -> tuple[float, float] | None:
         valid_from = row.get("valid_from")

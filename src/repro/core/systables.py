@@ -120,6 +120,56 @@ def _physical_tables(table):
             + list(table._attr_tables.values()))
 
 
+def _server_rows(engine) -> list[dict]:
+    """One row per region server: state plus aggregated region load.
+
+    The load columns are exactly what the balancer policy aggregates
+    (:func:`repro.balancer.policy.server_loads`), so an operator can
+    eyeball the same numbers the balancer acts on.
+    """
+    store = engine.store
+    now_ms = engine.events.now_ms
+    rows = []
+    for server in range(store.num_servers):
+        row = {"server": server,
+               "state": ("dead" if server in store.dead_servers
+                         and server not in store.recovering_servers
+                         else "recovering"
+                         if server in store.recovering_servers
+                         else "alive"),
+               "regions": 0, "memstore_bytes": 0, "sstable_bytes": 0,
+               "reads": 0, "writes": 0,
+               "read_rate": 0.0, "write_rate": 0.0,
+               "cache_used_bytes": store.cache_for(server).used_bytes,
+               "wal_live_records": 0}
+        wal = store.wal_for(server)
+        if wal is not None:
+            row["wal_live_records"] = wal.live_records
+        rows.append(row)
+    for kvtable in store.tables():
+        for region in kvtable.regions():
+            row = rows[region.server]
+            row["regions"] += 1
+            row["memstore_bytes"] += region.memstore.size_bytes
+            row["sstable_bytes"] += region.disk_bytes
+            row["reads"] += region.reads
+            row["writes"] += region.writes
+            row["read_rate"] += region.read_rate.rate_per_s(now_ms)
+            row["write_rate"] += region.write_rate.rate_per_s(now_ms)
+    for row in rows:
+        row["read_rate"] = round(row["read_rate"], 6)
+        row["write_rate"] = round(row["write_rate"], 6)
+    return rows
+
+
+def _balancer_rows(engine) -> list[dict]:
+    """The balancer's decision history (empty until one is enabled)."""
+    balancer = getattr(engine, "balancer", None)
+    if balancer is None:
+        return []
+    return balancer.history_rows()
+
+
 def _event_rows(engine) -> list[dict]:
     return engine.events.rows()
 
@@ -148,6 +198,18 @@ SYSTEM_TABLE_SPECS = [
       "storage_bytes", "analyzed_rows"),
      (_STRING, _STRING, _STRING, _STRING, _LONG, _LONG, _LONG, _LONG),
      "Catalog tables with live size and ANALYZE snapshots."),
+    ("sys.servers",
+     ("server", "state", "regions", "memstore_bytes", "sstable_bytes",
+      "reads", "writes", "read_rate", "write_rate",
+      "cache_used_bytes", "wal_live_records"),
+     (_LONG, _STRING, _LONG, _LONG, _LONG, _LONG, _LONG, _DOUBLE,
+      _DOUBLE, _LONG, _LONG),
+     "Per-server state and aggregated load (what the balancer sees)."),
+    ("sys.balancer",
+     ("run", "sim_ms", "action", "table", "region_id", "src_server",
+      "dest_server", "reason"),
+     (_LONG, _DOUBLE, _STRING, _STRING, _LONG, _LONG, _LONG, _STRING),
+     "Balancer decision history: every move/split/merge with reason."),
     ("sys.events",
      ("seq", "sim_ms", "kind", "table", "region_id", "server",
       "detail"),
@@ -175,6 +237,8 @@ def install_system_tables(engine) -> None:
         "sys.metrics": lambda: _metrics_rows(engine),
         "sys.regions": lambda: _region_rows(engine),
         "sys.tables": lambda: _table_rows(engine),
+        "sys.servers": lambda: _server_rows(engine),
+        "sys.balancer": lambda: _balancer_rows(engine),
         "sys.events": lambda: _event_rows(engine),
         "sys.slow_queries": _empty_rows,
         "sys.sessions": _empty_rows,

@@ -37,7 +37,8 @@ class CommonTable:
     def __init__(self, name: str, schema: Schema, store: KVStore,
                  strategies: dict[str, IndexStrategy],
                  compression_enabled: bool = True,
-                 attribute_fields: list[str] | None = None):
+                 attribute_fields: list[str] | None = None,
+                 presplit: int = 0, salt_buckets: int = 0):
         if schema.primary_key is None:
             raise SchemaError(f"table {name!r} needs a primary key")
         self.name = name
@@ -45,9 +46,19 @@ class CommonTable:
         self.store = store
         self.strategies = dict(strategies)
         self.codec = RowCodec(schema, compression_enabled)
-        self._id_table = store.create_table(f"{name}__id")
+        # WITH (presplit=N, salt_buckets=K) placement options: the index
+        # tables carry the write-hot SFC-clustered keys, so they get
+        # both pre-splitting and salting; the id table sees the same
+        # insert volume (random fids, no clustering) so it pre-splits
+        # without the salting scan tax; attribute indexes stay plain.
+        self.presplit = presplit
+        self.salt_buckets = salt_buckets
+        self._id_table = store.create_table(f"{name}__id",
+                                            presplit=presplit)
         self._index_tables = {
-            sname: store.create_table(f"{name}__{sname}")
+            sname: store.create_table(f"{name}__{sname}",
+                                      presplit=presplit,
+                                      salt_buckets=salt_buckets)
             for sname in strategies
         }
         # Secondary attribute indexes (the "Attribute Indexing" box of

@@ -10,6 +10,8 @@ spreading the copies over the extended span 2014-03-01 .. 2014-12-31
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
+from itertools import accumulate
 
 from repro.geometry.distance import METERS_PER_DEGREE
 from repro.trajectory.model import GPSPoint, STSeries, Trajectory
@@ -18,14 +20,54 @@ from repro.trajectory.model import GPSPoint, STSeries, Trajectory
 SYNTHETIC_TIME_END = 1419984000.0
 
 
+def zipfian_weights(n: int, s: float = 1.2) -> list[float]:
+    """Normalized Zipf(s) probabilities for ranks ``0..n-1``.
+
+    Rank 0 is the most popular item; ``s`` is the skew exponent
+    (``s=0`` is uniform, urban access patterns are typically 0.9-1.5).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if s < 0:
+        raise ValueError("s must be >= 0")
+    raw = [1.0 / (rank + 1) ** s for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def zipfian_sampler(n: int, s: float, rng: random.Random):
+    """A zero-arg callable drawing ranks ``0..n-1`` with Zipf(s) skew.
+
+    Inverse-CDF sampling over the precomputed cumulative weights:
+    O(log n) per draw, deterministic given ``rng``.  This is the key
+    skew used by the multi-tenant balancer workload (hot tenants get
+    most of the traffic) and by :func:`generate_synthetic_dataset`'s
+    ``skew_s`` option (hot base trajectories get most of the copies).
+    """
+    cumulative = list(accumulate(zipfian_weights(n, s)))
+    cumulative[-1] = 1.0  # guard the float-sum tail
+
+    def draw() -> int:
+        return bisect_right(cumulative, rng.random())
+
+    return draw
+
+
 def generate_synthetic_dataset(base: list[Trajectory], multiplier: int,
                                seed: int = 20141231,
-                               jitter_m: float = 120.0
+                               jitter_m: float = 120.0,
+                               skew_s: float | None = None
                                ) -> list[Trajectory]:
     """``multiplier`` jittered, time-shifted copies of the base dataset.
 
     ``multiplier=1`` returns re-identified copies of the base (same size),
     matching the paper's "copying & sampling ... up to 1T" construction.
+
+    ``skew_s`` skews which base trajectory each copy samples: instead of
+    one copy of everything per round, every generated trajectory draws
+    its base with Zipf(``skew_s``) popularity, so a few hot objects
+    dominate the output — the key distribution that hotspots an
+    SFC-ordered store and gives the balancer something to fix.
     """
     if multiplier < 1:
         raise ValueError("multiplier must be >= 1")
@@ -34,8 +76,12 @@ def generate_synthetic_dataset(base: list[Trajectory], multiplier: int,
     out: list[Trajectory] = []
     base_end = max(t.end_time for t in base) if base else 0.0
     shift_room = max(0.0, SYNTHETIC_TIME_END - base_end)
+    draw = zipfian_sampler(len(base), skew_s, rng) \
+        if skew_s is not None and base else None
     for copy_index in range(multiplier):
-        for trajectory in base:
+        for slot in range(len(base)):
+            trajectory = base[draw()] if draw is not None \
+                else base[slot]
             shift = rng.uniform(0.0, shift_room) if copy_index else 0.0
             dlng = rng.gauss(0.0, jitter) if copy_index else 0.0
             dlat = rng.gauss(0.0, jitter) if copy_index else 0.0
@@ -43,6 +89,10 @@ def generate_synthetic_dataset(base: list[Trajectory], multiplier: int,
                 min(max(p.lng + dlng, -180.0), 180.0),
                 min(max(p.lat + dlat, -90.0), 90.0),
                 p.time + shift) for p in trajectory.points]
-            out.append(Trajectory(f"{trajectory.tid}_c{copy_index}",
-                                  trajectory.oid, STSeries(points)))
+            # Skewed draws can repeat a base within one round, so the
+            # slot keeps generated ids unique.
+            tid = f"{trajectory.tid}_c{copy_index}" if draw is None \
+                else f"{trajectory.tid}_c{copy_index}_{slot}"
+            out.append(Trajectory(tid, trajectory.oid,
+                                  STSeries(points)))
     return out

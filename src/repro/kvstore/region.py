@@ -61,6 +61,13 @@ class Region:
         self.table = table
         #: Highest WAL sequence number absorbed into this region.
         self.max_seqno = 0
+        #: Simulated-clock instant until which the region is offline
+        #: (set by a balancer move while it reopens on the destination).
+        self.unavailable_until_ms = 0.0
+        #: Simulated-clock birth instant; the balancer refuses to merge
+        #: young regions (a freshly pre-split table is cold by
+        #: definition — merging it away would undo the DDL's intent).
+        self.created_ms = events.now_ms if events is not None else 0.0
         self.memstore = MemStore()
         self.sstables: list[SSTable] = []  # oldest first
         #: Hotness accounting for ``sys.regions``: lifetime counters plus

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import heapq
+import zlib
 from bisect import bisect_right
 
 from repro.errors import (
@@ -20,30 +22,91 @@ from repro.kvstore.wal import (
     SyncPolicy,
     WriteAheadLog,
 )
-from repro.observability.events import EventLog, SplitEvent
+from repro.observability.events import (
+    EventLog,
+    RegionMergedEvent,
+    RegionMovedEvent,
+    SplitEvent,
+)
 
 #: Split a region once its data exceeds this many bytes.
 DEFAULT_SPLIT_BYTES = 4 * 1024 * 1024
 
+#: Upper bound on pre-split regions and salt buckets (one key byte).
+MAX_BUCKETS = 255
+
+
+def salt_of(key: bytes, buckets: int) -> int:
+    """Deterministic salt bucket for a key (HBase-style key salting)."""
+    return zlib.crc32(key) % buckets
+
 
 class KVTable:
-    """One sorted table, split into key-range regions across servers."""
+    """One sorted table, split into key-range regions across servers.
 
-    def __init__(self, name: str, store: "KVStore"):
+    ``presplit=N`` creates the table with ``N`` regions up front
+    (HBase pre-splitting), spreading a write burst across servers from
+    the first put instead of waiting for size-triggered splits.
+
+    ``salt_buckets=K`` (>= 2) prepends a one-byte deterministic salt —
+    ``crc32(key) % K`` — to every stored key, so even a monotonic or
+    SFC-clustered key stream spreads over K contiguous key spaces.
+    Point operations recompute the salt; range scans fan out one scan
+    per bucket and merge them back into logical key order (the salted
+    scan fan-out cost is the classic salting trade-off).  With salting,
+    pre-splitting places region boundaries on bucket boundaries.
+    """
+
+    def __init__(self, name: str, store: "KVStore", presplit: int = 0,
+                 salt_buckets: int = 0):
+        if presplit < 0 or presplit > MAX_BUCKETS:
+            raise ValueError(f"presplit must be in [0, {MAX_BUCKETS}], "
+                             f"got {presplit}")
+        if salt_buckets < 0 or salt_buckets > MAX_BUCKETS:
+            raise ValueError(f"salt_buckets must be in [0, {MAX_BUCKETS}]"
+                             f", got {salt_buckets}")
         self.name = name
         self._store = store
         self._stats = store.stats
-        server = store.next_server()
-        first = Region(b"", None, store.stats,
-                       server=server,
-                       flush_bytes=store.flush_bytes,
-                       block_bytes=store.block_bytes,
-                       wal=store.wal_for(server),
-                       cache_lookup=store.cache_for,
-                       events=store.events, table=name)
-        self._regions: list[Region] = [first]
+        self.salt_buckets = salt_buckets if salt_buckets >= 2 else 0
+        self._regions: list[Region] = [
+            self._new_region(start, end)
+            for start, end in self._initial_ranges(presplit)]
         # _region_starts[i] == _regions[i].start_key, kept sorted for routing
-        self._region_starts: list[bytes] = [b""]
+        self._region_starts: list[bytes] = [r.start_key
+                                            for r in self._regions]
+
+    def _new_region(self, start: bytes, end: bytes | None) -> Region:
+        server = self._store.next_server()
+        return Region(start, end, self._stats,
+                      server=server,
+                      flush_bytes=self._store.flush_bytes,
+                      block_bytes=self._store.block_bytes,
+                      wal=self._store.wal_for(server),
+                      cache_lookup=self._store.cache_for,
+                      events=self._store.events, table=self.name)
+
+    def _initial_ranges(self, presplit: int) -> list[tuple[bytes,
+                                                           bytes | None]]:
+        """Key ranges for the initial regions (one without pre-split)."""
+        starts = [b""]
+        if presplit > 1:
+            if self.salt_buckets:
+                # Boundaries on salt-bucket edges so every bucket lives
+                # entirely inside one region.
+                bounds = {self.salt_buckets * i // presplit
+                          for i in range(1, presplit)}
+            else:
+                bounds = {256 * i // presplit for i in range(1, presplit)}
+            starts += [bytes([b]) for b in sorted(bounds) if 0 < b < 256]
+        ends: list[bytes | None] = starts[1:] + [None]
+        return list(zip(starts, ends))
+
+    # -- key salting ---------------------------------------------------------
+    def _salted(self, key: bytes) -> bytes:
+        if not self.salt_buckets:
+            return key
+        return bytes([salt_of(key, self.salt_buckets)]) + key
 
     # -- routing -------------------------------------------------------------
     def _region_for(self, key: bytes) -> Region:
@@ -72,6 +135,7 @@ class KVTable:
 
     def _mutate(self, key: bytes, value: bytes | None) -> None:
         self._store.tick_faults("put")
+        key = self._salted(key)
         region = self._region_for(key)
         self._store.check_available(self.name, region, "put")
         seqno = self._store.wal_append(region, self.name, key, value)
@@ -81,6 +145,7 @@ class KVTable:
 
     def get(self, key: bytes, ctx=None) -> bytes | None:
         self._store.tick_faults("get")
+        key = self._salted(key)
         region = self._region_for(key)
         self._store.check_available(self.name, region, "get", ctx)
         return region.get(key, self._store.cache_for(region.server))
@@ -98,11 +163,50 @@ class KVTable:
         """
         self._store.tick_faults("scan")
         self._stats.record_scan()
-        stop = spec.stop
+        if self.salt_buckets:
+            stream = self._scan_salted(spec, ctx)
+        else:
+            stream = self._scan_span(spec.start, spec.stop, ctx)
         remaining = spec.limit
+        for key, value in stream:
+            yield key, value
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    return
+
+    def _scan_salted(self, spec: ScanSpec, ctx=None):
+        """Fan the logical range out over every salt bucket and merge.
+
+        Each bucket holds a contiguous salted copy of the logical key
+        space, so one per-bucket scan of ``salt + [start, stop)`` with
+        the salt byte stripped yields the bucket's rows in logical
+        order; a ``heapq.merge`` over the buckets restores the global
+        order.  A logical key lives in exactly one bucket, so merge
+        comparisons never tie (and never reach the values).
+        """
+        stop = spec.stop
+
+        def bucket_stream(bucket: int):
+            prefix = bytes([bucket])
+            if stop is None:
+                # The bucket's whole key space: everything under the
+                # salt byte (buckets are < 255, so prefix+1 exists).
+                bucket_stop = bytes([bucket + 1])
+            else:
+                bucket_stop = prefix + stop
+            for key, value in self._scan_span(prefix + spec.start,
+                                              bucket_stop, ctx):
+                yield key[1:], value
+
+        yield from heapq.merge(*(bucket_stream(b)
+                                 for b in range(self.salt_buckets)))
+
+    def _scan_span(self, start: bytes, stop: bytes | None, ctx=None):
+        """Yield live ``(key, value)`` across regions of one key span."""
         profile = getattr(ctx, "profile", None) if ctx is not None \
             else None
-        for region in self._regions_overlapping(spec.start, stop):
+        for region in self._regions_overlapping(start, stop):
             if ctx is not None:
                 ctx.check(f"scan of {self.name!r}")
             try:
@@ -120,15 +224,10 @@ class KVTable:
                 else None
             region_rows = 0
             try:
-                for key, value in region.scan(spec.start, stop, cache,
-                                              ctx):
+                for key, value in region.scan(start, stop, cache, ctx):
                     self._stats.record_result(len(key) + len(value))
                     region_rows += 1
                     yield key, value
-                    if remaining is not None:
-                        remaining -= 1
-                        if remaining <= 0:
-                            return
             finally:
                 if profile is not None:
                     self._record_region_span(profile, region, before,
@@ -227,6 +326,61 @@ class KVTable:
             right_region_id=right.region_id,
             split_key=split_key.hex()))
 
+    def split_region(self, region: Region) -> bool:
+        """Split one region now (the balancer's load-triggered split).
+
+        Same mechanics as a size-triggered split; returns False when the
+        region is too small or too narrow to split.
+        """
+        if region not in self._regions:
+            raise ValueError(f"region {region.region_id} is not part of "
+                             f"table {self.name!r}")
+        before = len(self._regions)
+        self._split(region)
+        return len(self._regions) > before
+
+    # -- merging -------------------------------------------------------------
+    def merge_regions(self, left: Region, right: Region) -> Region:
+        """Merge two adjacent regions into one hosted on ``left``'s server.
+
+        The HBase ``merge_region`` analogue for cold neighbours: both
+        parents' live entries land in one reference SSTable (no write
+        charge, like a split), both parents' cached blocks are dropped,
+        and both parents' WAL records are retired — every entry is
+        persisted in the merged region's SSTable, so nothing needs
+        replay on their behalf.
+        """
+        index = self._regions.index(left)
+        if index + 1 >= len(self._regions) \
+                or self._regions[index + 1] is not right:
+            raise ValueError(
+                f"regions {left.region_id} and {right.region_id} are "
+                f"not adjacent in table {self.name!r}")
+        entries = left.all_entries() + right.all_entries()
+        merged = Region(left.start_key, right.end_key, self._stats,
+                        server=left.server,
+                        flush_bytes=self._store.flush_bytes,
+                        block_bytes=self._store.block_bytes,
+                        wal=self._store.wal_for(left.server),
+                        cache_lookup=self._store.cache_for,
+                        events=self._store.events, table=self.name)
+        if entries:
+            merged.sstables = [SSTable(entries, self._stats,
+                                       self._store.block_bytes,
+                                       charge_write=False)]
+        for parent in (left, right):
+            parent.evict_cached_blocks()
+            if parent.wal is not None:
+                parent.wal.retire_region(parent.region_id)
+        self._regions[index:index + 2] = [merged]
+        self._region_starts = [r.start_key for r in self._regions]
+        self._store.events.emit(RegionMergedEvent(
+            table=self.name, region_id=merged.region_id,
+            server=merged.server, left_region_id=left.region_id,
+            right_region_id=right.region_id,
+            bytes_after=merged.disk_bytes))
+        return merged
+
     # -- introspection ---------------------------------------------------------
     @property
     def num_regions(self) -> int:
@@ -297,11 +451,18 @@ class KVStore:
         self._server_cursor = 0
 
     def next_server(self) -> int:
-        """Round-robin region placement across the alive servers."""
+        """Round-robin region placement across the placeable servers.
+
+        Recovering servers are skipped too: a region placed on a
+        crashed-but-not-yet-failed-over server would be born
+        unavailable (every access raises RegionUnavailableError until
+        its failover completes, which never covers the new region).
+        """
         for _ in range(self.num_servers):
             server = self._server_cursor
             self._server_cursor = (self._server_cursor + 1) % self.num_servers
-            if server not in self.dead_servers:
+            if server not in self.dead_servers \
+                    and server not in self.recovering_servers:
                 return server
         raise RuntimeError("no surviving region servers")
 
@@ -309,6 +470,12 @@ class KVStore:
     def alive_servers(self) -> list[int]:
         return [s for s in range(self.num_servers)
                 if s not in self.dead_servers]
+
+    @property
+    def placeable_servers(self) -> list[int]:
+        """Servers that can host regions right now (alive, recovered)."""
+        return [s for s in self.alive_servers
+                if s not in self.recovering_servers]
 
     def cache_for(self, server: int) -> BlockCache:
         return self._caches[server]
@@ -345,6 +512,10 @@ class KVStore:
         intermittent per-op error for regions on gray-failing servers.
         """
         if region.server in self.recovering_servers:
+            raise RegionUnavailableError(table, region.region_id,
+                                         region.server)
+        if self.events.now_ms < region.unavailable_until_ms:
+            # Mid-move: offline while it reopens on the destination.
             raise RegionUnavailableError(table, region.region_id,
                                          region.server)
         if self.fault_injector is not None:
@@ -408,11 +579,63 @@ class KVStore:
     def last_recovery(self) -> RecoveryReport | None:
         return self.recovery_log[-1] if self.recovery_log else None
 
+    # -- elastic placement ------------------------------------------------------
+    def move_region(self, region: Region, dest: int) -> float:
+        """Move one region to ``dest`` (the balancer's act primitive).
+
+        HBase ``move_region`` semantics in miniature: the memstore is
+        flushed so the source WAL can be checkpointed up to the
+        region's high watermark (its records are all persisted — a
+        later crash of the source replays nothing for it), the source
+        server's cached blocks for the region are invalidated, and the
+        region reopens cold on ``dest`` with that server's WAL and a
+        reset seqno watermark (sequence numbers are per-server; the
+        same rule failover applies).  The region is unavailable for the
+        simulated duration of the move — reads/writes raise
+        :class:`RegionUnavailableError` until the clock passes it.
+        Returns the simulated move time in ms.
+        """
+        source = region.server
+        if dest == source:
+            raise ValueError(f"region {region.region_id} is already on "
+                             f"server {dest}")
+        if not 0 <= dest < self.num_servers:
+            raise ValueError(f"no such server: {dest}")
+        if dest in self.dead_servers or dest in self.recovering_servers:
+            raise ValueError(f"server {dest} cannot host regions now")
+        before = self.stats.snapshot()
+        region.flush()
+        if region.wal is not None:
+            # The flush checkpointed up to max_seqno; make it explicit
+            # for the no-new-edits case so the source log holds nothing
+            # of this region either way.
+            region.wal.checkpoint(region.region_id, region.max_seqno)
+        flushed = self.stats.snapshot().delta(before)
+        region.evict_cached_blocks()  # source cache: blocks now remote
+        region.server = dest
+        region.wal = self.wal_for(dest)
+        region.max_seqno = 0
+        region.evict_cached_blocks()  # destination opens the region cold
+        model = self.cost_model
+        if model is None:
+            from repro.cluster.simclock import CostModel
+            model = CostModel()
+        move_ms = (model.region_reopen_ms
+                   + model.disk_write_ms(flushed.disk_bytes_written))
+        region.unavailable_until_ms = self.events.now_ms + move_ms
+        self.events.emit(RegionMovedEvent(
+            table=region.table, region_id=region.region_id,
+            server=dest, from_server=source,
+            bytes_moved=region.disk_bytes, move_ms=round(move_ms, 3)))
+        return move_ms
+
     # -- table management ------------------------------------------------------
-    def create_table(self, name: str) -> KVTable:
+    def create_table(self, name: str, presplit: int = 0,
+                     salt_buckets: int = 0) -> KVTable:
         if name in self._tables:
             raise TableExistsError(name)
-        table = KVTable(name, self)
+        table = KVTable(name, self, presplit=presplit,
+                        salt_buckets=salt_buckets)
         self._tables[name] = table
         return table
 

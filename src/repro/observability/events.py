@@ -121,6 +121,49 @@ class SplitEvent(Event):
 
 
 @dataclass
+class RegionMovedEvent(Event):
+    """The balancer moved a region to ``server`` (from ``from_server``).
+
+    The shared ``server`` column reports the *destination* — where the
+    region lives after the event — matching ``sys.regions``.
+    """
+
+    kind = "region_move"
+    table: str = ""
+    region_id: int = 0
+    server: int = 0
+    from_server: int = 0
+    bytes_moved: int = 0
+    move_ms: float = 0.0
+
+
+@dataclass
+class RegionMergedEvent(Event):
+    """Two cold adjacent regions were merged into ``region_id``."""
+
+    kind = "region_merge"
+    table: str = ""
+    region_id: int = 0
+    server: int = 0
+    left_region_id: int = 0
+    right_region_id: int = 0
+    bytes_after: int = 0
+
+
+@dataclass
+class BalancerRunEvent(Event):
+    """One balancer loop iteration: what it saw and what it did."""
+
+    kind = "balancer_run"
+    run: int = 0
+    moves: int = 0
+    splits: int = 0
+    merges: int = 0
+    imbalance_before: float = 0.0
+    imbalance_after: float = 0.0
+
+
+@dataclass
 class FailoverEvent(Event):
     """A crashed server's regions were reassigned and WAL-replayed."""
 

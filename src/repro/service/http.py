@@ -102,6 +102,9 @@ class JustHttpServer:
       — the structured cluster event log (the master-UI events page).
     * ``GET  /regions``      {} -> {regions} — per-region placement,
       size, and decayed read/write hotness (``sys.regions`` over HTTP).
+    * ``GET  /balancer``     {} -> {enabled, servers, runs?, history?}
+      — balancer state: per-server load (``sys.servers``) plus, when a
+      balancer is enabled, its counters and decision history.
     """
 
     def __init__(self, server: JustServer | None = None,
@@ -151,6 +154,8 @@ class JustHttpServer:
                 limit=int(limit) if limit is not None else None)
         if path == "/regions":
             return {"regions": self.server.regions_snapshot()}
+        if path == "/balancer":
+            return self.server.balancer_snapshot()
         return {"error": f"unknown path {path!r}", "kind": "RouteError"}
 
     def _execute(self, request: dict) -> dict:

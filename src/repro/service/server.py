@@ -133,6 +133,11 @@ class JustServer:
         # Statement latencies are the event log's notion of elapsed time;
         # advancing it here is what makes region hotness rates decay.
         self.events.advance(sim_ms)
+        # The master's balancer chore: with a balancer enabled on the
+        # engine, each statement's clock advance may trigger a balance
+        # pass (the policy interval gates how often).
+        if self.engine.balancer is not None:
+            self.engine.balancer.maybe_tick()
 
     def _expire_stale(self) -> None:
         for session in self.sessions.expire_idle():
@@ -207,3 +212,13 @@ class JustServer:
     def regions_snapshot(self) -> list[dict]:
         """JSON-safe ``sys.regions`` rows for the ``/regions`` route."""
         return self.engine.system_rows("sys.regions")
+
+    def balancer_snapshot(self) -> dict:
+        """JSON-safe balancer state for the ``/balancer`` HTTP route."""
+        balancer = self.engine.balancer
+        snapshot = {"enabled": balancer is not None,
+                    "servers": self.engine.system_rows("sys.servers")}
+        if balancer is not None:
+            snapshot.update(balancer.snapshot())
+            snapshot["history"] = balancer.history_rows()
+        return snapshot

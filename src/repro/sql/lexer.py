@@ -11,7 +11,7 @@ KEYWORDS = {
     "describe", "as", "select", "from", "where", "group", "order", "by",
     "asc", "desc", "limit", "and", "or", "not", "between", "in", "within",
     "insert", "into", "values", "load", "to", "config", "filter",
-    "userdata", "store", "distinct", "having", "join", "on", "null",
+    "userdata", "with", "store", "distinct", "having", "join", "on", "null",
     "true", "false", "is", "like", "explain", "inner", "left", "analyze",
 }
 

@@ -360,7 +360,8 @@ class _Parser:
         name = self.expect_name()
         if self.accept_keyword("as"):
             plugin = self.expect_name()
-            userdata = self._parse_optional_userdata()
+            userdata = self._parse_optional_with()
+            userdata.update(self._parse_optional_userdata())
             return CreateTableStmt(name, [], plugin, userdata)
         self.expect_symbol("(")
         columns = []
@@ -369,7 +370,8 @@ class _Parser:
             if self.accept_symbol(")"):
                 break
             self.expect_symbol(",")
-        userdata = self._parse_optional_userdata()
+        userdata = self._parse_optional_with()
+        userdata.update(self._parse_optional_userdata())
         return CreateTableStmt(name, columns, None, userdata)
 
     def _parse_column_definition(self) -> tuple[str, str]:
@@ -400,6 +402,53 @@ class _Parser:
         if not self.accept_keyword("userdata"):
             return {}
         return self._parse_braced_dict()
+
+    def _parse_optional_with(self) -> dict:
+        """``WITH (key = value, ...)`` table options, folded into userdata.
+
+        Bare option names get the ``just.`` prefix — ``WITH
+        (presplit=8, salt_buckets=4)`` is sugar for ``USERDATA
+        {'just.presplit': 8, 'just.salt_buckets': 4}`` — while dotted
+        names pass through verbatim.  An explicit USERDATA clause after
+        the WITH clause wins on conflicting keys.
+        """
+        if not self.accept_keyword("with"):
+            return {}
+        self.expect_symbol("(")
+        options: dict = {}
+        while True:
+            key = self.expect_name()
+            while self.accept_symbol("."):
+                key = f"{key}.{self.expect_name()}"
+            self.expect_symbol("=")
+            if "." not in key:
+                key = f"just.{key}"
+            options[key] = self._parse_with_value()
+            if self.accept_symbol(")"):
+                break
+            self.expect_symbol(",")
+        return options
+
+    def _parse_with_value(self):
+        """One WITH option value: number, string, boolean, or bare word."""
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            return float(text) if ("." in text or "e" in text.lower()) \
+                else int(text)
+        if token.kind == "string":
+            self.advance()
+            return token.text
+        if self.accept_keyword("true"):
+            return True
+        if self.accept_keyword("false"):
+            return False
+        if token.kind in ("ident", "keyword"):
+            self.advance()
+            return token.text
+        raise self.error(f"expected a WITH option value, "
+                         f"got {token.text!r}")
 
     def _parse_braced_dict(self) -> dict:
         """Parse a ``{...}`` JSON-ish literal from the raw statement text."""

@@ -111,6 +111,15 @@ class TestDecayedRate:
         rate.record(100.0)
         assert rate.rate_per_s(100.0) == rate.rate_per_s(100.0)
 
+    def test_long_idle_gap_decays_to_zero(self):
+        # The balancer reads these rates to find cold merge candidates:
+        # after a long idle gap even a once-hot region must read ~0.
+        rate = DecayedRate(tau_ms=30_000.0)
+        for _ in range(100):
+            rate.record(0.0)
+        assert rate.rate_per_s(0.0) > 3.0
+        assert rate.rate_per_s(600_000.0) < 1e-6  # 20 tau later
+
 
 # -- kvstore emission ---------------------------------------------------------
 
