@@ -1,0 +1,171 @@
+"""Region replication: failover MTTR and read tail under gray failure.
+
+Not a paper figure — the paper inherits HBase's single-copy region
+model, and this quantifies what the replication layer buys a deployment
+on top of it:
+
+* **Failover MTTR.**  The same seeded SYNC ingest is crashed mid-stream
+  at replication factor 1 (WAL-replay recovery, the PR 1 path) and
+  factor 3 (follower promotion).  Both must lose zero acknowledged
+  writes; promotion must be strictly faster because it replays only the
+  promotion catch-up, not the dead server's whole live WAL.
+
+* **Read p95 under a gray-slow primary.**  The same point-read workload
+  runs against a store whose region-0 server stalls every operation,
+  unreplicated (reads eat the stall) vs replication-factor 3 with
+  hedged reads (the hedge races a healthy follower past the hedge
+  delay).  Hedging must cut the p95.
+
+Also usable standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py [--quick]
+"""
+
+import random
+
+from harness import FigureTable
+
+from repro.faults import FaultInjector, FaultPlan, SlowServer
+from repro.kvstore import KVStore, SyncPolicy
+from repro.replication.demo import run_failover_experiment
+from repro.resilience import Deadline, RequestContext
+
+_KEYS = 2000
+_KILL_AFTER = 1500
+_READS = 200
+_SLOW_MS = 40.0
+
+
+def _mttr_sweep(num_keys=_KEYS, kill_after=_KILL_AFTER, seed=0):
+    return {factor: run_failover_experiment(
+                factor, num_keys=num_keys, kill_after=kill_after,
+                seed=seed)
+            for factor in (1, 3)}
+
+
+def _read_latencies(factor, read_mode, reads=_READS, seed=0):
+    """p50/p95 of per-read charged latency under a slow server 0."""
+    kwargs = {}
+    if factor > 1:
+        kwargs.update(replication_factor=factor, read_mode=read_mode)
+    store = KVStore(num_servers=5, wal_policy=SyncPolicy.SYNC,
+                    flush_bytes=16 * 1024, block_bytes=1024, **kwargs)
+    table = store.create_table("t", presplit=5)
+    rng = random.Random(seed)
+    keys = []
+    for _ in range(2 * reads):
+        key = rng.getrandbits(64).to_bytes(8, "big")
+        table.put(key, b"v" * 64)
+        keys.append(key)
+    if store.replication is not None:
+        store.replication.tick()  # followers fully caught up
+    plan = FaultPlan([SlowServer(0, latency_ms=_SLOW_MS)], seed=seed)
+    FaultInjector(plan).attach(store)
+    samples = []
+    for key in rng.sample(keys, reads):
+        ctx = RequestContext(deadline=Deadline(60_000.0))
+        table.get(key, ctx=ctx)
+        samples.append(ctx.deadline.consumed_ms)
+    samples.sort()
+
+    def pct(q):
+        return samples[int(q * (len(samples) - 1))]
+
+    return {"p50": pct(0.50), "p95": pct(0.95)}
+
+
+def _record_mttr(report, results) -> FigureTable:
+    table = FigureTable("Replication MTTR",
+                        "Crash failover: WAL replay vs follower "
+                        "promotion (SYNC ingest)", "metric")
+    for factor, result in results.items():
+        series = f"rf={factor}"
+        table.add(series, "acked writes", result.acked_writes)
+        table.add(series, "lost acked writes",
+                  result.lost_acked_writes)
+        table.add(series, "regions promoted",
+                  result.recovery.promoted_regions)
+        table.add(series, "records replayed",
+                  result.recovery.replayed_records
+                  + result.recovery.catchup_records)
+        table.add(series, "recovery ms",
+                  round(result.recovery.recovery_ms, 2))
+    return report.record(table)
+
+
+def _record_hedged(report, latencies) -> FigureTable:
+    table = FigureTable("Replication hedged reads",
+                        "Read latency under a gray-slow primary "
+                        f"(+{_SLOW_MS:.0f}ms per op)", "metric")
+    for series, stats in latencies.items():
+        table.add(series, "p50 ms", round(stats["p50"], 2))
+        table.add(series, "p95 ms", round(stats["p95"], 2))
+    return report.record(table)
+
+
+def test_promote_failover_beats_wal_replay(report, benchmark):
+    """rf=3 promotion: zero acked-write loss, strictly less MTTR."""
+    results = _mttr_sweep()
+    _record_mttr(report, results)
+
+    replay, promote = results[1], results[3]
+    assert replay.lost_acked_writes == 0
+    assert promote.lost_acked_writes == 0
+    assert promote.recovery.promoted_regions > 0
+    # Promotion replays only the catch-up, never the whole live WAL.
+    assert promote.recovery.recovery_ms < replay.recovery.recovery_ms
+    benchmark(lambda: run_failover_experiment(
+        3, num_keys=300, kill_after=200))
+
+
+def test_hedged_reads_cut_gray_read_p95(report, benchmark):
+    """Hedged replica reads bound the tail a slow primary inflates."""
+    latencies = {
+        "unreplicated": _read_latencies(1, "primary"),
+        "rf=3 hedged": _read_latencies(3, "hedged"),
+    }
+    _record_hedged(report, latencies)
+
+    # One region server in five stalls every op: the unreplicated p95
+    # eats the full stall, the hedge pays only its small delay.
+    assert latencies["unreplicated"]["p95"] >= _SLOW_MS
+    assert latencies["rf=3 hedged"]["p95"] < _SLOW_MS / 4
+    benchmark(lambda: _read_latencies(3, "hedged", reads=20))
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (CI smoke): record both sweeps."""
+    import argparse
+
+    from harness import REPORT
+
+    parser = argparse.ArgumentParser(
+        description="Replication benchmark: failover MTTR and hedged "
+                    "read tail latency.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    args = parser.parse_args(argv)
+    num_keys = 600 if args.quick else _KEYS
+    kill_after = 400 if args.quick else _KILL_AFTER
+    reads = 60 if args.quick else _READS
+
+    results = _mttr_sweep(num_keys=num_keys, kill_after=kill_after)
+    _record_mttr(REPORT, results)
+    assert results[1].lost_acked_writes == 0
+    assert results[3].lost_acked_writes == 0
+    assert results[3].recovery.recovery_ms \
+        < results[1].recovery.recovery_ms
+
+    latencies = {
+        "unreplicated": _read_latencies(1, "primary", reads=reads),
+        "rf=3 hedged": _read_latencies(3, "hedged", reads=reads),
+    }
+    _record_hedged(REPORT, latencies)
+    assert latencies["rf=3 hedged"]["p95"] \
+        < latencies["unreplicated"]["p95"]
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

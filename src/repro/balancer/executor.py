@@ -70,14 +70,9 @@ class Balancer:
                              action.region.region_id,
                              action.region.server, None, action.reason)
 
-        moves = 0
         loads = server_loads(store, now_ms)  # splits changed placement
-        for action in plan_moves(store, policy, loads, now_ms):
-            store.move_region(action.region, action.dest)
-            moves += 1
-            self._record(run, now_ms, "move", action.table,
-                         action.region.region_id, action.source,
-                         action.dest, action.reason)
+        moves = self.apply_moves(
+            run, now_ms, plan_moves(store, policy, loads, now_ms))
 
         merges = 0
         for action in plan_merges(store, policy, now_ms):
@@ -98,6 +93,36 @@ class Balancer:
             imbalance_after=round(imbalance_after, 3))
         store.events.emit(event)
         return event
+
+    def apply_moves(self, run: int, now_ms: float,
+                    planned: list) -> int:
+        """Execute planned moves, re-validating each destination.
+
+        A destination picked from the load snapshot can stop being
+        placeable before execution (its server crashed into
+        ``recovering_servers`` mid-tick, e.g. via a fault plan firing
+        between planning and acting); executing anyway would raise out
+        of ``move_region`` and abort the whole pass.  Such moves are
+        skipped with a recorded ``skip_move`` decision instead.
+        """
+        store = self.store
+        moves = 0
+        for action in planned:
+            dest = action.dest
+            if dest in store.dead_servers \
+                    or dest in store.recovering_servers:
+                self._record(run, now_ms, "skip_move", action.table,
+                             action.region.region_id, action.source,
+                             dest,
+                             f"destination server {dest} stopped being "
+                             f"placeable after planning")
+                continue
+            store.move_region(action.region, dest)
+            moves += 1
+            self._record(run, now_ms, "move", action.table,
+                         action.region.region_id, action.source,
+                         dest, action.reason)
+        return moves
 
     def _record(self, run: int, sim_ms: float, action: str, table: str,
                 region_id: int, src_server: int | None,

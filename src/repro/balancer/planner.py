@@ -72,9 +72,14 @@ def plan_moves(store, policy: BalancerPolicy,
     receiver.  Stops when the projected imbalance drops under the
     policy's trigger ratio, when a move would not help (donor no hotter
     than receiver), or at ``max_moves_per_run``.
+
+    Replica anti-affinity: a region is never planned onto a server
+    already hosting one of its replicas — co-locating two copies would
+    void the redundancy the replication layer placed them for.
     """
     if len(loads) < 2:
         return []
+    replica_servers = getattr(store, "replica_servers", None)
     projected = {s: load.load(policy) for s, load in loads.items()}
     region_rates: dict[int, list[tuple[float, str, object]]] = \
         {s: [] for s in loads}
@@ -105,6 +110,10 @@ def plan_moves(store, policy: BalancerPolicy,
                 continue
             # Moving more than the gap would just swap the hotspot.
             if rate >= gap:
+                continue
+            # Anti-affinity: skip regions with a replica on the receiver.
+            if replica_servers is not None \
+                    and receiver in replica_servers(region):
                 continue
             if best is None or rate > best[0]:
                 best = (rate, name, region)

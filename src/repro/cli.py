@@ -30,6 +30,10 @@ Load-balancer demo (zipfian multi-tenant skew, balancer off vs on)::
 
     python -m repro balance --quick
 
+Replication demo (quorum writes, promote failover, hedged reads)::
+
+    python -m repro replicate --quick
+
 The shell keeps one engine (and one user session) for its lifetime, prints
 result sets as aligned tables, and reports each query's simulated
 latency.  ``--user`` picks the namespace; multiple shells could share an
@@ -180,6 +184,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if argv and argv[0] == "balance":
         from repro.balancer.demo import main as balance_main
         return balance_main(argv[1:], out=out)
+    if argv and argv[0] == "replicate":
+        from repro.replication.demo import main as replicate_main
+        return replicate_main(argv[1:], out=out)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="JustQL shell for the JUST reproduction engine.")

@@ -81,7 +81,9 @@ class JustEngine:
                  local_overhead_ms: float = 5.0,
                  wal_policy=None,
                  split_bytes: int | None = None,
-                 flush_bytes: int | None = None):
+                 flush_bytes: int | None = None,
+                 replication_factor: int = 1,
+                 read_mode: str = "primary"):
         #: Process-wide observability registry: the store's I/O stats,
         #: the SQL operators, and the service layer all report into it.
         from repro.observability.events import EventLog
@@ -111,6 +113,11 @@ class JustEngine:
             # Durable ingest: every region server keeps a write-ahead log
             # and the store survives injected region-server crashes.
             store_kwargs["wal_policy"] = wal_policy
+        if replication_factor > 1:
+            # Region replication: a primary plus followers on distinct
+            # servers, WAL shipping, quorum writes, fast promote failover.
+            store_kwargs["replication_factor"] = replication_factor
+            store_kwargs["read_mode"] = read_mode
         self.store = KVStore(num_servers, **store_kwargs)
         self.catalog = Catalog()
         self.sources = SourceRegistry()
@@ -152,6 +159,28 @@ class JustEngine:
         elif policy is not None:
             self.balancer.policy = policy
         return self.balancer
+
+    # -- replication -------------------------------------------------------------
+    @property
+    def replication(self):
+        """The store's :class:`~repro.replication.ReplicationManager`
+        (``None`` until replication is enabled)."""
+        return self.store.replication
+
+    def enable_replication(self, factor: int = 3,
+                           read_mode: str = "primary", **kwargs):
+        """Turn on region replication for this engine's store.
+
+        Returns the :class:`repro.replication.ReplicationManager`.
+        Requires a WAL policy (replication ships primary WAL records to
+        follower WALs).  The service layer ticks its anti-entropy chore
+        after every statement; library users call
+        ``replication.maybe_tick()`` themselves.  Replica state surfaces
+        in ``sys.replication`` and as events in ``sys.events``.
+        """
+        return self.store.enable_replication(factor=factor,
+                                             read_mode=read_mode,
+                                             **kwargs)
 
     # -- system tables -----------------------------------------------------------
     def register_system_table(self, name: str, columns, provider,

@@ -170,6 +170,14 @@ def _balancer_rows(engine) -> list[dict]:
     return balancer.history_rows()
 
 
+def _replication_rows(engine) -> list[dict]:
+    """One row per region replica (empty until replication is enabled)."""
+    replication = engine.store.replication
+    if replication is None:
+        return []
+    return replication.rows()
+
+
 def _event_rows(engine) -> list[dict]:
     return engine.events.rows()
 
@@ -210,6 +218,12 @@ SYSTEM_TABLE_SPECS = [
       "dest_server", "reason"),
      (_LONG, _DOUBLE, _STRING, _STRING, _LONG, _LONG, _LONG, _STRING),
      "Balancer decision history: every move/split/merge with reason."),
+    ("sys.replication",
+     ("table", "region_id", "server", "role", "state",
+      "applied_seqno", "lag_records", "reads", "shipped_records"),
+     (_STRING, _LONG, _LONG, _STRING, _STRING, _LONG, _LONG, _LONG,
+      _LONG),
+     "Per-replica placement, state, applied seqno, and shipping lag."),
     ("sys.events",
      ("seq", "sim_ms", "kind", "table", "region_id", "server",
       "detail"),
@@ -239,6 +253,7 @@ def install_system_tables(engine) -> None:
         "sys.tables": lambda: _table_rows(engine),
         "sys.servers": lambda: _server_rows(engine),
         "sys.balancer": lambda: _balancer_rows(engine),
+        "sys.replication": lambda: _replication_rows(engine),
         "sys.events": lambda: _event_rows(engine),
         "sys.slow_queries": _empty_rows,
         "sys.sessions": _empty_rows,

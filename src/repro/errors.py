@@ -95,6 +95,28 @@ class RegionUnavailableError(JustError):
         self.reason = reason
 
 
+class ReplicationQuorumError(RegionUnavailableError):
+    """A SYNC write could not gather enough replica WAL acknowledgements.
+
+    Raised when too few follower replicas are reachable and live to make
+    the write durable on a quorum of copies.  Retryable — the
+    anti-entropy chore heals followers and the next attempt may succeed.
+    Like any distributed write that times out mid-commit, the outcome is
+    indeterminate: the record reached the primary's WAL before the
+    quorum check failed, so a retried-then-abandoned write may still
+    surface after a failover.
+    """
+
+    def __init__(self, table: str, region_id: int, server: int,
+                 acks: int, required: int):
+        super().__init__(
+            table, region_id, server,
+            reason=(f"replication quorum not met: {acks}/{required} "
+                    f"replica WAL acks"))
+        self.acks = acks
+        self.required = required
+
+
 class QueryTimeoutError(JustError):
     """A statement exceeded its deadline and was cooperatively cancelled.
 
@@ -177,7 +199,8 @@ class SimulatedOutOfMemoryError(JustError):
 #: Errors a client may safely retry: the condition is transient (a region
 #: mid-failover, a server shedding load) rather than a property of the
 #: statement itself.
-RETRYABLE_ERRORS = ("RegionUnavailableError", "ServerOverloadedError")
+RETRYABLE_ERRORS = ("RegionUnavailableError", "ReplicationQuorumError",
+                    "ServerOverloadedError")
 
 
 def error_class_for(kind: str) -> type[JustError]:

@@ -11,7 +11,10 @@ picks up the pieces.
 Crashes are only half the story: gray failures (:class:`SlowServer`
 latency, :class:`IntermittentError` flapping) exercise the request
 resilience layer — deadlines, retries, circuit breakers, partial
-results — under servers that are sick rather than dead.
+results — under servers that are sick rather than dead, and
+replication-link faults (:class:`PartitionedFollower`,
+:class:`LossyShipping`) break WAL shipping between replicas without
+touching the servers at either end.
 """
 
 from repro.faults.plan import (
@@ -19,9 +22,12 @@ from repro.faults.plan import (
     FaultPlan,
     IntermittentError,
     KillServer,
+    LossyShipping,
+    PartitionedFollower,
     SlowServer,
 )
 from repro.faults.injector import FaultInjector
 
 __all__ = ["CorruptionMode", "FaultPlan", "IntermittentError",
-           "KillServer", "SlowServer", "FaultInjector"]
+           "KillServer", "SlowServer", "PartitionedFollower",
+           "LossyShipping", "FaultInjector"]

@@ -134,11 +134,65 @@ GRAY_FAULTS = (SlowServer, IntermittentError)
 
 
 @dataclass(frozen=True, slots=True)
+class PartitionedFollower:
+    """WAL shipping to ``server`` is blocked (a network partition).
+
+    Replication traffic *to* the server fails while the server itself
+    stays healthy: a sender keeps the records queued (per-replica lag
+    grows) and re-ships them once the partition heals.  Activates after
+    ``after_ships`` shipped records; with ``duration_ships`` set it
+    heals after that many more ship attempts.
+    """
+
+    server: int
+    after_ships: int = 0
+    duration_ships: int | None = None
+
+    def __post_init__(self):
+        if self.after_ships < 0:
+            raise ValueError("after_ships must be >= 0")
+        if self.duration_ships is not None and self.duration_ships < 1:
+            raise ValueError("duration_ships must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class LossyShipping:
+    """Each WAL record shipped to ``server`` is dropped with
+    ``probability`` (seeded).
+
+    A drop during lazy shipping leaves a gap in the follower's stream
+    (the sender has moved on), tearing the replica until anti-entropy
+    rebuilds it; a drop during a synchronous quorum ship is just a
+    failed ack — the sender still holds the record and retries.
+    Activation window as in :class:`PartitionedFollower`.
+    """
+
+    server: int
+    probability: float
+    after_ships: int = 0
+    duration_ships: int | None = None
+
+    def __post_init__(self):
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if self.after_ships < 0:
+            raise ValueError("after_ships must be >= 0")
+        if self.duration_ships is not None and self.duration_ships < 1:
+            raise ValueError("duration_ships must be >= 1")
+
+
+#: Replication-link fault types (affect WAL shipping, not the server).
+SHIP_FAULTS = (PartitionedFollower, LossyShipping)
+
+
+@dataclass(frozen=True, slots=True)
 class FaultPlan:
     """A seeded schedule of faults for one store's lifetime.
 
     ``faults`` may mix fail-stop :class:`KillServer` entries with gray
-    :class:`SlowServer` / :class:`IntermittentError` entries.
+    :class:`SlowServer` / :class:`IntermittentError` entries and
+    replication-link :class:`PartitionedFollower` /
+    :class:`LossyShipping` entries.
     """
 
     faults: tuple = ()

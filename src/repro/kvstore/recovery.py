@@ -29,6 +29,12 @@ class RecoveryReport:
     #: this is always zero.
     discarded_records: int = 0
     recovery_ms: float = 0.0
+    #: Regions recovered by *promoting* a follower replica instead of
+    #: replaying the WAL (always 0 without replication).
+    promoted_regions: int = 0
+    #: Surviving primary-log records the promoted followers had not yet
+    #: applied and replayed at promotion (their replication lag).
+    catchup_records: int = 0
     #: region_id -> new hosting server.
     reassignments: dict[int, int] = field(default_factory=dict)
 
@@ -36,12 +42,17 @@ class RecoveryReport:
 def recover_server(store, server: int,
                    records: list[WALRecord],
                    discarded_records: int = 0,
-                   model=None) -> RecoveryReport:
+                   model=None, only_regions: set[int] | None = None,
+                   emit_event: bool = True) -> RecoveryReport:
     """Fail a dead server's regions over to survivors and replay its WAL.
 
     ``records`` is the surviving (synced, unflushed) log suffix from
     :meth:`WriteAheadLog.crash`; with the WAL disabled it is empty and
-    failover silently loses every unflushed edit.
+    failover silently loses every unflushed edit.  ``only_regions``
+    restricts recovery to a subset of the dead server's regions (the
+    replication manager promotes the rest from follower replicas), and
+    ``emit_event=False`` suppresses the FailoverEvent so a wrapping
+    recovery can emit one combined event instead.
     """
     if model is None:
         from repro.cluster.simclock import CostModel
@@ -53,14 +64,22 @@ def recover_server(store, server: int,
         for region in table.regions():
             if region.server != server:
                 continue
+            if only_regions is not None \
+                    and region.region_id not in only_regions:
+                continue
             region.memstore.clear()  # the server's RAM is gone
+            # Eagerly drop the dead server's cached blocks for this
+            # region, matching the move_region source-side eviction.
+            # crash_server clears the whole cache anyway; this keeps
+            # failover correct on its own for any future path that
+            # reaches it without the wholesale clear.
+            region.evict_cached_blocks(server=server)
             region.server = store.next_server()
             region.wal = store.wal_for(region.server)
             # The destination server starts with a cold view of this
             # region: drop any blocks its cache may hold for the
-            # region's SSTables (the dead server's cache was already
-            # cleared wholesale at crash time).
-            region.evict_cached_blocks()
+            # region's SSTables.
+            region.evict_cached_blocks(server=region.server)
             # Sequence numbers are per-server, so the dead server's high
             # watermark means nothing to the destination WAL — left in
             # place it would checkpoint the new log above seqnos it has
@@ -107,7 +126,7 @@ def recover_server(store, server: int,
         + report.replayed_records * model.kv_put_us * scale / 1000.0
         + report.regions_reassigned * model.region_reopen_ms)
     events = getattr(store, "events", None)
-    if events is not None:
+    if events is not None and emit_event:
         from repro.observability.events import FailoverEvent
         events.emit(FailoverEvent(
             server=server,

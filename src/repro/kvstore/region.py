@@ -61,6 +61,10 @@ class Region:
         self.table = table
         #: Highest WAL sequence number absorbed into this region.
         self.max_seqno = 0
+        #: The store's :class:`~repro.replication.manager.
+        #: ReplicationManager` once the region has follower replicas
+        #: (set by ``attach_region``); ``None`` without replication.
+        self.replication = None
         #: Simulated-clock instant until which the region is offline
         #: (set by a balancer move while it reopens on the destination).
         self.unavailable_until_ms = 0.0
@@ -134,6 +138,10 @@ class Region:
                 self.events.emit(WalCheckpointEvent(
                     table=self.table, region_id=self.region_id,
                     server=self.server, seqno=self.max_seqno))
+        if self.replication is not None:
+            # Ship the flush marker down the replication stream so
+            # followers drop their memstore copies and checkpoint too.
+            self.replication.on_flush(self, self.max_seqno)
         if len(self.sstables) >= DEFAULT_COMPACT_RUNS:
             self.compact()
 
@@ -164,32 +172,55 @@ class Region:
                 server=self.server, runs=runs, read_bytes=read_bytes,
                 bytes_after=self.sstables[0].total_bytes))
 
-    def evict_cached_blocks(self,
-                            sstables: list[SSTable] | None = None) -> int:
+    def evict_cached_blocks(self, sstables: list[SSTable] | None = None,
+                            server: int | None = None) -> int:
         """Invalidate cached blocks of ``sstables`` (default: all runs).
 
-        Returns the bytes released; 0 without a cache lookup.
+        With ``server`` the eviction targets that one server's cache;
+        by default it covers every server serving this region — the
+        primary plus, under replication, all follower servers, whose
+        caches hold blocks of the same shared SSTables from follower
+        reads.  Returns the bytes released; 0 without a cache lookup.
         """
         if self.cache_lookup is None:
             return 0
-        cache = self.cache_lookup(self.server)
-        if cache is None:
-            return 0
+        if server is not None:
+            servers = [server]
+        else:
+            servers = [self.server]
+            if self.replication is not None:
+                servers += self.replication.follower_servers(
+                    self.region_id)
         released = 0
-        for sstable in (self.sstables if sstables is None else sstables):
-            released += cache.invalidate_sstable(sstable.sstable_id)
+        for target in set(servers):
+            cache = self.cache_lookup(target)
+            if cache is None:
+                continue
+            for sstable in (self.sstables if sstables is None
+                            else sstables):
+                released += cache.invalidate_sstable(sstable.sstable_id)
         return released
 
     # -- read path -----------------------------------------------------------
-    def get(self, key: bytes, cache: BlockCache | None) -> bytes | None:
+    def get(self, key: bytes, cache: BlockCache | None,
+            replica=None) -> bytes | None:
+        """Newest-version lookup, optionally served by a follower.
+
+        With ``replica`` (a :class:`~repro.replication.replica.
+        FollowerReplica`) the lookup uses the follower's private
+        memstore and charges I/O to the follower's server; the SSTables
+        are shared storage, identical from every replica.
+        """
         self.record_read()
-        found, value = self.memstore.get(key)
+        memstore = self.memstore if replica is None else replica.memstore
+        server = self.server if replica is None else replica.server
+        found, value = memstore.get(key)
         if found:
             self._stats.record_memstore_read(
                 len(key) + (len(value) if value is not None else 0))
             return value
         for sstable in reversed(self.sstables):  # newest first
-            found, value = sstable.get(key, cache, self.server)
+            found, value = sstable.get(key, cache, server)
             if found:
                 return value
         return None
@@ -198,7 +229,7 @@ class Region:
     CANCEL_CHECK_ROWS = 128
 
     def scan(self, start: bytes, stop: bytes | None,
-             cache: BlockCache | None, ctx=None):
+             cache: BlockCache | None, ctx=None, replica=None):
         """Yield live ``(key, value)`` pairs in [start, stop), key-sorted.
 
         ``stop=None`` means unbounded above.  The merge is streaming: a
@@ -224,11 +255,13 @@ class Region:
         # (key, rank), so for equal keys the newest version comes first
         # and later (older) versions are skipped.  Ranks are unique per
         # stream, so tuple comparison never reaches the values.
+        memstore = self.memstore if replica is None else replica.memstore
+        server = self.server if replica is None else replica.server
         newest = len(self.sstables)
         streams = [self._ranked_sstable_stream(sstable, newest - i,
-                                               lo, hi, cache)
+                                               lo, hi, cache, server)
                    for i, sstable in enumerate(self.sstables)]
-        streams.append(self._ranked_memstore_stream(lo, hi))
+        streams.append(self._ranked_memstore_stream(lo, hi, memstore))
         previous: bytes | None = None
         processed = 0
         for key, _rank, value in heapq.merge(*streams):
@@ -244,12 +277,13 @@ class Region:
 
     def _ranked_sstable_stream(self, sstable: SSTable, rank: int,
                                lo: bytes, hi: bytes | None,
-                               cache: BlockCache | None):
-        for key, value in sstable.scan(lo, hi, cache, self.server):
+                               cache: BlockCache | None, server: int):
+        for key, value in sstable.scan(lo, hi, cache, server):
             yield key, rank, value
 
-    def _ranked_memstore_stream(self, lo: bytes, hi: bytes | None):
-        for key, value in self.memstore.scan(lo, hi):
+    def _ranked_memstore_stream(self, lo: bytes, hi: bytes | None,
+                                memstore: MemStore):
+        for key, value in memstore.scan(lo, hi):
             self._stats.record_memstore_read(
                 len(key) + (len(value) if value is not None else 0))
             yield key, 0, value

@@ -78,13 +78,15 @@ class KVTable:
 
     def _new_region(self, start: bytes, end: bytes | None) -> Region:
         server = self._store.next_server()
-        return Region(start, end, self._stats,
-                      server=server,
-                      flush_bytes=self._store.flush_bytes,
-                      block_bytes=self._store.block_bytes,
-                      wal=self._store.wal_for(server),
-                      cache_lookup=self._store.cache_for,
-                      events=self._store.events, table=self.name)
+        region = Region(start, end, self._stats,
+                        server=server,
+                        flush_bytes=self._store.flush_bytes,
+                        block_bytes=self._store.block_bytes,
+                        wal=self._store.wal_for(server),
+                        cache_lookup=self._store.cache_for,
+                        events=self._store.events, table=self.name)
+        self._store.region_created(region)
+        return region
 
     def _initial_ranges(self, presplit: int) -> list[tuple[bytes,
                                                            bytes | None]]:
@@ -139,6 +141,12 @@ class KVTable:
         region = self._region_for(key)
         self._store.check_available(self.name, region, "put")
         seqno = self._store.wal_append(region, self.name, key, value)
+        # Replicate between the primary WAL append and the memstore
+        # apply: a failed SYNC quorum raises here, so the rejected
+        # write is at worst a ghost record in the primary log
+        # (indeterminate, like any timed-out distributed commit).
+        self._store.replicate_append(region, self.name, key, value,
+                                     seqno)
         region.put(key, value, seqno)
         if region.total_bytes >= self._store.split_bytes:
             self._split(region)
@@ -147,8 +155,10 @@ class KVTable:
         self._store.tick_faults("get")
         key = self._salted(key)
         region = self._region_for(key)
-        self._store.check_available(self.name, region, "get", ctx)
-        return region.get(key, self._store.cache_for(region.server))
+        replica = self._store.route_read(self.name, region, "get", ctx)
+        server = region.server if replica is None else replica.server
+        return region.get(key, self._store.cache_for(server),
+                          replica=replica)
 
     def scan(self, spec: ScanSpec, ctx=None):
         """Yield live ``(key, value)`` pairs across regions, key-sorted.
@@ -210,21 +220,24 @@ class KVTable:
             if ctx is not None:
                 ctx.check(f"scan of {self.name!r}")
             try:
-                self._store.check_available(self.name, region, "scan",
-                                            ctx)
+                replica = self._store.route_read(self.name, region,
+                                                 "scan", ctx)
             except RegionUnavailableError as exc:
                 if ctx is not None and ctx.partial_results:
                     ctx.record_skip(self.name, region.region_id,
                                     region.server, str(exc))
                     continue
                 raise
-            cache = self._store.cache_for(region.server)
+            server = region.server if replica is None \
+                else replica.server
+            cache = self._store.cache_for(server)
             region.record_read()
             before = self._stats.snapshot() if profile is not None \
                 else None
             region_rows = 0
             try:
-                for key, value in region.scan(start, stop, cache, ctx):
+                for key, value in region.scan(start, stop, cache, ctx,
+                                              replica=replica):
                     self._stats.record_result(len(key) + len(value))
                     region_rows += 1
                     yield key, value
@@ -313,10 +326,14 @@ class KVTable:
                                   charge_write=False)]
         # Every parent entry (memstore included) is now persisted in the
         # daughters' SSTables, so the parent's log records are obsolete —
-        # and so are its SSTables' cached blocks.
+        # and so are its SSTables' cached blocks (on every replica
+        # server).
         region.evict_cached_blocks()
         if region.wal is not None:
             region.wal.retire_region(region.region_id)
+        self._store.region_retired(region)
+        self._store.region_created(left)
+        self._store.region_created(right)
         index = self._regions.index(region)
         self._regions[index:index + 1] = [left, right]
         self._region_starts = [r.start_key for r in self._regions]
@@ -372,6 +389,8 @@ class KVTable:
             parent.evict_cached_blocks()
             if parent.wal is not None:
                 parent.wal.retire_region(parent.region_id)
+            self._store.region_retired(parent)
+        self._store.region_created(merged)
         self._regions[index:index + 2] = [merged]
         self._region_starts = [r.start_key for r in self._regions]
         self._store.events.emit(RegionMergedEvent(
@@ -422,7 +441,9 @@ class KVStore:
                  cost_model=None,
                  fault_injector=None,
                  metrics=None,
-                 events=None):
+                 events=None,
+                 replication_factor: int = 1,
+                 read_mode="primary"):
         self.num_servers = num_servers
         self.flush_bytes = flush_bytes
         self.split_bytes = split_bytes
@@ -449,6 +470,11 @@ class KVStore:
         self._caches = [BlockCache(cache_bytes_per_server)
                         for _ in range(num_servers)]
         self._server_cursor = 0
+        #: :class:`~repro.replication.manager.ReplicationManager` once
+        #: region replication is on; ``None`` runs single-copy.
+        self.replication = None
+        if replication_factor > 1:
+            self.enable_replication(replication_factor, read_mode)
 
     def next_server(self) -> int:
         """Round-robin region placement across the placeable servers.
@@ -489,6 +515,72 @@ class KVStore:
         """Drop every block cache (benchmarks do this between queries)."""
         for cache in self._caches:
             cache.clear()
+
+    # -- replication -----------------------------------------------------------
+    def enable_replication(self, factor: int = 3, read_mode="primary",
+                           **kwargs) -> "object":
+        """Turn on region replication (requires a WAL policy).
+
+        Every existing and future region gets ``factor - 1`` follower
+        replicas on distinct servers; see
+        :class:`~repro.replication.manager.ReplicationManager`.
+        ``read_mode`` sets the default serving mode for reads
+        (``primary`` / ``follower`` / ``hedged``); ``kwargs`` pass
+        through to the manager (``interval_ms``, ``hedge_ms``, ...).
+        """
+        from repro.replication.manager import ReplicationManager
+        if self.replication is not None:
+            return self.replication
+        self.replication = ReplicationManager(self, factor=factor,
+                                              read_mode=read_mode,
+                                              **kwargs)
+        for table in self.tables():
+            for region in table.regions():
+                self.replication.attach_region(region)
+        return self.replication
+
+    def region_created(self, region: Region) -> None:
+        """A region came into existence (create/presplit/split/merge)."""
+        if self.replication is not None:
+            self.replication.attach_region(region)
+
+    def region_retired(self, region: Region) -> None:
+        """A region ceased to exist (split parent, merge parent, drop)."""
+        if self.replication is not None:
+            self.replication.detach_region(region)
+
+    def replicate_append(self, region: Region, table: str, key: bytes,
+                         value: bytes | None,
+                         seqno: int | None) -> None:
+        """Ship one primary WAL append to the region's followers."""
+        if self.replication is not None:
+            self.replication.on_append(region, table, key, value, seqno)
+
+    def route_read(self, table: str, region: Region, op: str,
+                   ctx=None):
+        """Pick the replica serving one read; ``None`` means primary.
+
+        Without replication this is exactly :meth:`check_available`;
+        with it, follower/hedged modes may return a
+        :class:`~repro.replication.replica.FollowerReplica` to serve
+        from instead.
+        """
+        if self.replication is None:
+            self.check_available(table, region, op, ctx)
+            return None
+        return self.replication.route_read(table, region, op, ctx)
+
+    def replica_servers(self, region: Region) -> set[int]:
+        """Servers hosting any replica of ``region`` (primary included).
+
+        The balancer planner consults this for anti-affinity: moving a
+        primary onto a follower's server would co-locate two copies.
+        """
+        servers = {region.server}
+        if self.replication is not None:
+            servers.update(
+                self.replication.follower_servers(region.region_id))
+        return servers
 
     # -- durability and fault tolerance ----------------------------------------
     def tick_faults(self, op: str) -> None:
@@ -565,12 +657,26 @@ class KVStore:
         return self.failover(server)
 
     def failover(self, server: int) -> RecoveryReport:
-        """Reassign a dead server's regions and replay its WAL."""
+        """Recover a dead server's regions.
+
+        Without replication every region is reassigned and its WAL
+        replayed; with replication, regions whose primary lived here
+        are *promoted* onto their most-caught-up follower and only the
+        promotion catch-up is replayed.  Either way the dead server's
+        block cache is invalidated eagerly (idempotent after
+        :meth:`crash_server`'s wholesale clear) so no stale entries of
+        moved-away regions outlive the failover.
+        """
         if server not in self._pending_crashes:
             raise ValueError(f"server {server} has no pending recovery")
         records, discarded = self._pending_crashes.pop(server)
-        report = recover_server(self, server, records, discarded,
-                                model=self.cost_model)
+        self._caches[server].clear()
+        if self.replication is not None:
+            report = self.replication.failover(server, records,
+                                               discarded)
+        else:
+            report = recover_server(self, server, records, discarded,
+                                    model=self.cost_model)
         self.recovering_servers.discard(server)
         self.recovery_log.append(report)
         return report
@@ -611,11 +717,15 @@ class KVStore:
             # of this region either way.
             region.wal.checkpoint(region.region_id, region.max_seqno)
         flushed = self.stats.snapshot().delta(before)
-        region.evict_cached_blocks()  # source cache: blocks now remote
+        # Source cache only: follower servers (if any) keep serving the
+        # same shared SSTables, so their cached blocks stay valid.
+        region.evict_cached_blocks(server=source)
         region.server = dest
         region.wal = self.wal_for(dest)
         region.max_seqno = 0
-        region.evict_cached_blocks()  # destination opens the region cold
+        region.evict_cached_blocks(server=dest)  # destination opens cold
+        if self.replication is not None:
+            self.replication.on_primary_moved(region, source, dest)
         model = self.cost_model
         if model is None:
             from repro.cluster.simclock import CostModel
@@ -652,6 +762,7 @@ class KVStore:
             region.evict_cached_blocks()
             if region.wal is not None:
                 region.wal.retire_region(region.region_id)
+            self.region_retired(region)
         del self._tables[name]
 
     def has_table(self, name: str) -> bool:

@@ -176,6 +176,48 @@ class FailoverEvent(Event):
 
 
 @dataclass
+class ReplicaPromotedEvent(Event):
+    """A follower replica was promoted to primary after a crash.
+
+    The shared ``server`` column reports the promoted follower's server —
+    where the region's primary lives after the event; ``from_server`` is
+    the crashed primary.  ``catchup_records`` is how many surviving
+    primary-WAL records the promoted replica had not yet applied and
+    replayed during promotion (its replication lag at the crash).
+    """
+
+    kind = "replica_promote"
+    table: str = ""
+    region_id: int = 0
+    server: int = 0
+    from_server: int = 0
+    applied_seqno: int = 0
+    catchup_records: int = 0
+
+
+@dataclass
+class ReplicaLagEvent(Event):
+    """A follower replica's shipping lag crossed the alert threshold."""
+
+    kind = "replica_lag"
+    table: str = ""
+    region_id: int = 0
+    server: int = 0
+    lag_records: int = 0
+
+
+@dataclass
+class ReplicaRebuildEvent(Event):
+    """The anti-entropy chore rebuilt a follower from the primary."""
+
+    kind = "replica_rebuild"
+    table: str = ""
+    region_id: int = 0
+    server: int = 0
+    records_copied: int = 0
+
+
+@dataclass
 class BreakerTripEvent(Event):
     """A client circuit breaker opened after consecutive failures."""
 

@@ -1,0 +1,29 @@
+"""Region replication: follower replicas, quorum writes, fast failover.
+
+See :mod:`repro.replication.manager` for the mechanism overview and
+:mod:`repro.replication.replica` for the per-replica state model.
+"""
+
+from repro.replication.manager import (
+    DEFAULT_HEDGE_MS,
+    DEFAULT_INTERVAL_MS,
+    DEFAULT_LAG_ALERT_RECORDS,
+    ReplicationManager,
+)
+from repro.replication.replica import (
+    LIVE,
+    REBUILDING,
+    TORN,
+    FlushMarker,
+    FollowerReplica,
+    ReadMode,
+    read_mode_of,
+)
+
+__all__ = [
+    "ReplicationManager", "ReadMode", "read_mode_of",
+    "FollowerReplica", "FlushMarker",
+    "LIVE", "TORN", "REBUILDING",
+    "DEFAULT_INTERVAL_MS", "DEFAULT_LAG_ALERT_RECORDS",
+    "DEFAULT_HEDGE_MS",
+]

@@ -1,0 +1,117 @@
+"""Replica state: one follower copy of a region.
+
+The replication model mirrors HBase region replicas on HDFS: SSTables
+live in *shared* storage, so every replica of a region reads the same
+immutable runs — what a follower privately maintains is the unflushed
+tail.  Each follower keeps its own :class:`~repro.kvstore.memstore.
+MemStore`, fed by WAL records shipped from the primary in order, and
+makes the shipped records durable by appending them to its *own*
+server's write-ahead log.  A primary flush ships a marker down the same
+stream; a follower that applies the marker drops its memstore (the
+entries are now in the shared SSTables) and checkpoints its WAL.
+
+In-order shipping gives every follower a *prefix* of the primary's edit
+stream, which is what makes promotion safe: the most-caught-up follower
+holds a superset of every other replica's acknowledged edits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.kvstore.memstore import MemStore
+
+
+class ReadMode(Enum):
+    """Where replicated reads are served from.
+
+    ``PRIMARY``
+        the hosting primary only — strongest consistency, no protection
+        from a slow or flapping primary server.
+    ``FOLLOWER``
+        serve from a live follower replica (timeline consistency: a
+        lagging follower may return slightly stale data).
+    ``HEDGED``
+        send to the primary, and after a hedge delay also to a follower;
+        take whichever answers first.  Caps the read tail under gray
+        failures at roughly ``hedge_ms`` + the follower's latency.
+    """
+
+    PRIMARY = "primary"
+    FOLLOWER = "follower"
+    HEDGED = "hedged"
+
+
+def read_mode_of(value) -> ReadMode:
+    """Coerce a string or :class:`ReadMode` into a :class:`ReadMode`."""
+    if isinstance(value, ReadMode):
+        return value
+    return ReadMode(value)
+
+
+#: Follower lifecycle states.
+LIVE = "live"
+#: The follower lost a shipped record (lossy link): its applied prefix
+#: is intact and still promotable, but it must not apply further records
+#: until the anti-entropy chore rebuilds it over the gap.
+TORN = "torn"
+#: Freshly created (after a failover or a swap) and not yet synced from
+#: the primary; holds nothing beyond the shared SSTables.
+REBUILDING = "rebuilding"
+
+
+@dataclass(frozen=True, slots=True)
+class FlushMarker:
+    """Shipped when the primary flushes: everything <= ``seqno`` is in
+    shared SSTables, so an up-to-date follower can drop its memstore."""
+
+    seqno: int
+
+
+class FollowerReplica:
+    """One follower copy of one region, hosted on ``server``.
+
+    ``applied_seqno`` is the *primary's* WAL sequence number of the last
+    record applied here (the replication stream position);
+    ``local_max_seqno`` is this server's own WAL watermark for the
+    shipped records (per-server seqnos, exactly like a primary's
+    ``Region.max_seqno``).  ``pending`` holds records and flush markers
+    shipped lazily and not yet applied — its length is the replica's
+    lag in records.
+    """
+
+    __slots__ = ("server", "memstore", "pending", "applied_seqno",
+                 "local_max_seqno", "state", "reads", "shipped_records",
+                 "dropped_records")
+
+    def __init__(self, server: int, state: str = LIVE):
+        self.server = server
+        self.memstore = MemStore()
+        self.pending: deque = deque()
+        self.applied_seqno = 0
+        self.local_max_seqno = 0
+        self.state = state
+        self.reads = 0
+        self.shipped_records = 0
+        self.dropped_records = 0
+
+    @property
+    def lag_records(self) -> int:
+        """Unapplied shipped entries (records + markers) queued here."""
+        return len(self.pending)
+
+    def reset(self, server: int | None = None) -> None:
+        """Forget all replica state and enter the rebuilding phase."""
+        if server is not None:
+            self.server = server
+        self.memstore = MemStore()
+        self.pending.clear()
+        self.applied_seqno = 0
+        self.local_max_seqno = 0
+        self.state = REBUILDING
+
+    def __repr__(self) -> str:
+        return (f"FollowerReplica(s{self.server} {self.state} "
+                f"applied={self.applied_seqno} lag={self.lag_records})")

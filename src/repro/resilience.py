@@ -116,14 +116,24 @@ class RequestContext:
     points along the statement's path (physical operators, per-region
     scans) attach trace spans to it when present and cost nothing when
     absent.
+
+    ``read_mode`` optionally overrides the store's replicated-read
+    serving mode for this one statement (``"primary"`` /
+    ``"follower"`` / ``"hedged"``), and ``hedge_ms`` overrides the
+    hedged-read delay; :meth:`hedge_budget_ms` couples the hedge delay
+    to the deadline so a statement running out of budget hedges
+    earlier rather than waiting out a slow primary.
     """
 
     def __init__(self, deadline: Deadline | None = None,
                  partial_results: bool = False,
-                 profile=None):
+                 profile=None, read_mode: str | None = None,
+                 hedge_ms: float | None = None):
         self.deadline = deadline
         self.partial_results = partial_results
         self.profile = profile
+        self.read_mode = read_mode
+        self.hedge_ms = hedge_ms
         self.skipped: list[SkippedRegion] = []
         self.job = None
 
@@ -157,6 +167,21 @@ class RequestContext:
         elif self.deadline is not None:
             self.deadline.charge(ms)
         self.check()
+
+    def hedge_budget_ms(self, default_ms: float) -> float:
+        """The hedge delay for one read under this context.
+
+        The statement's override wins over the store default; either
+        way the delay is capped at half the remaining deadline budget —
+        a statement nearly out of time cannot afford to wait out a
+        slow primary before trying a follower.
+        """
+        budget = self.hedge_ms if self.hedge_ms is not None \
+            else default_ms
+        if self.deadline is not None:
+            budget = min(budget,
+                         max(0.0, self.deadline.remaining_ms) / 2.0)
+        return budget
 
     def record_skip(self, table: str, region_id: int, server: int,
                     reason: str) -> None:

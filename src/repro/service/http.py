@@ -105,6 +105,9 @@ class JustHttpServer:
     * ``GET  /balancer``     {} -> {enabled, servers, runs?, history?}
       — balancer state: per-server load (``sys.servers``) plus, when a
       balancer is enabled, its counters and decision history.
+    * ``GET  /replication``  {} -> {enabled, factor?, replicas?, ...}
+      — replication state: quorum/shipping counters plus one row per
+      replica (``sys.replication`` over HTTP).
     """
 
     def __init__(self, server: JustServer | None = None,
@@ -156,6 +159,8 @@ class JustHttpServer:
             return {"regions": self.server.regions_snapshot()}
         if path == "/balancer":
             return self.server.balancer_snapshot()
+        if path == "/replication":
+            return self.server.replication_snapshot()
         return {"error": f"unknown path {path!r}", "kind": "RouteError"}
 
     def _execute(self, request: dict) -> dict:

@@ -138,6 +138,10 @@ class JustServer:
         # pass (the policy interval gates how often).
         if self.engine.balancer is not None:
             self.engine.balancer.maybe_tick()
+        # Likewise the replication anti-entropy chore: heal lagging or
+        # rebuilding followers as simulated time passes.
+        if self.engine.store.replication is not None:
+            self.engine.store.replication.maybe_tick()
 
     def _expire_stale(self) -> None:
         for session in self.sessions.expire_idle():
@@ -221,4 +225,14 @@ class JustServer:
         if balancer is not None:
             snapshot.update(balancer.snapshot())
             snapshot["history"] = balancer.history_rows()
+        return snapshot
+
+    def replication_snapshot(self) -> dict:
+        """JSON-safe replication state for the ``/replication`` route."""
+        replication = self.engine.store.replication
+        snapshot = {"enabled": replication is not None}
+        if replication is not None:
+            snapshot.update(replication.snapshot())
+            snapshot["replicas"] = self.engine.system_rows(
+                "sys.replication")
         return snapshot
