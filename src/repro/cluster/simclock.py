@@ -37,6 +37,14 @@ class CostModel:
     spark_stage_ms: float = 80.0
     #: Per-record CPU cost of deserializing + filtering one row.
     cpu_us_per_record: float = 2.0
+    #: Amortized per-record CPU cost under batch-at-a-time execution:
+    #: the expression tree is dispatched once per batch and the leaves
+    #: loop over column lists, so most of the per-row interpreter
+    #: overhead disappears (the pandas-UDF effect).
+    cpu_us_per_record_batched: float = 0.4
+    #: Fixed per-batch dispatch cost (building the columnar batch and
+    #: walking the expression tree once).
+    batch_overhead_us: float = 40.0
     #: Per-record CPU cost of building an in-memory index entry.
     index_build_us_per_record: float = 6.0
     #: Latency of one WAL fsync (group commit pays this once per batch).
@@ -171,3 +179,20 @@ class SimJob:
         servers = self.num_servers if parallel else 1
         scale = self.model.effective_record_scale
         self._add("cpu", count * scale * us / 1000.0 / servers)
+
+    def charge_cpu_batch(self, count: int, num_batches: int = 1,
+                         us_per_record: float | None = None,
+                         parallel: bool = True) -> None:
+        """CPU for ``count`` records processed as ``num_batches`` batches.
+
+        The record count stays exact — batching changes how the work is
+        dispatched, not how much data flows — but each record costs the
+        amortized batched rate plus a fixed per-batch dispatch overhead.
+        """
+        us = us_per_record if us_per_record is not None \
+            else self.model.cpu_us_per_record_batched
+        servers = self.num_servers if parallel else 1
+        scale = self.model.effective_record_scale
+        self._add("cpu", (count * scale * us
+                          + num_batches * self.model.batch_overhead_us)
+                  / 1000.0 / servers)

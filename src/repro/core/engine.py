@@ -83,7 +83,8 @@ class JustEngine:
                  split_bytes: int | None = None,
                  flush_bytes: int | None = None,
                  replication_factor: int = 1,
-                 read_mode: str = "primary"):
+                 read_mode: str = "primary",
+                 vectorized: bool = True):
         #: Process-wide observability registry: the store's I/O stats,
         #: the SQL operators, and the service layer all report into it.
         from repro.observability.events import EventLog
@@ -135,6 +136,10 @@ class JustEngine:
         self.adaptive_execution = adaptive_execution
         self.oltp_threshold_bytes = oltp_threshold_bytes
         self.local_overhead_ms = local_overhead_ms
+        #: Batch-at-a-time SQL execution: columnar scan batches out of
+        #: the kvstore, vectorized filter/project/aggregate.  Off runs
+        #: the row-at-a-time path (the benchmark baseline).
+        self.vectorized = vectorized
         #: Optional hot-region load balancer (see :meth:`enable_balancer`);
         #: None means placement stays pure round-robin.
         self.balancer = None

@@ -181,9 +181,19 @@ class CommonTable:
         """Delete one record by feature id; True when it existed."""
         return self._delete_existing(fid)
 
-    def get(self, fid: str, ctx=None) -> dict | None:
-        """Point lookup by feature id."""
+    def get(self, fid: str, ctx=None,
+            job: SimJob | None = None) -> dict | None:
+        """Point lookup by feature id.
+
+        With ``job`` the lookup charges the blocks/bytes it actually
+        read (one seek, one block unless cached), so a primary-key
+        access path reports real I/O instead of appearing free.
+        """
+        before = self.store.stats.snapshot() if job is not None else None
         payload = self._id_table.get(fid.encode("utf-8"), ctx)
+        if job is not None:
+            delta = self.store.stats.snapshot().delta(before)
+            job.charge_store_scan(delta, num_ranges=1)
         if payload is None:
             return None
         return self.decorate_row(self.codec.decode_row(payload))
@@ -243,6 +253,46 @@ class CommonTable:
             job.charge_store_scan(delta, num_ranges=len(ranges))
             job.charge_cpu_records(scanned)
 
+    def scan_ranges_batches(self, strategy_name: str,
+                            ranges: list[KeyRange],
+                            job: SimJob | None = None, ctx=None,
+                            batch_rows: int | None = None):
+        """Batched :meth:`scan_ranges`: yields lists of decoded rows.
+
+        Each yielded list is one key-value batch decoded in a tight
+        loop.  Batches fill *across* key-range boundaries — curve
+        strategies produce hundreds of small ranges, and chunking each
+        range separately would fragment the scan into hundreds of tiny
+        batches whose per-batch overhead erases the vectorization win.
+        Store I/O and CPU are charged in a ``finally`` so an abandoned
+        scan (deadline mid-batch, early consumer exit) still accounts
+        exactly for the work it did — with the batched CPU rate, since
+        decode here is amortized batch work.
+        """
+        from repro.kvstore.scan import DEFAULT_BATCH_ROWS, chunk_pairs
+        table = self._index_tables[strategy_name]
+        before = self.store.stats.snapshot()
+        decode = self.codec.decode_row
+        scanned = 0
+        batches = 0
+
+        def pairs():
+            for key_range in ranges:
+                yield from table.scan(
+                    ScanSpec(key_range.start, key_range.end), ctx)
+
+        try:
+            for kv_batch in chunk_pairs(pairs(),
+                                        batch_rows or DEFAULT_BATCH_ROWS):
+                scanned += len(kv_batch)
+                batches += 1
+                yield [decode(payload) for _key, payload in kv_batch]
+        finally:
+            if job is not None:
+                delta = self.store.stats.snapshot().delta(before)
+                job.charge_store_scan(delta, num_ranges=len(ranges))
+                job.charge_cpu_batch(scanned, batches)
+
     def query(self, query: STQuery, predicate: str = "intersects",
               job: SimJob | None = None,
               strategy_name: str | None = None, ctx=None) -> list[dict]:
@@ -257,6 +307,64 @@ class CommonTable:
             if self._matches(row, query, predicate):
                 out.append(self.decorate_row(row))
         return out
+
+    def query_batches(self, query: STQuery, predicate: str = "intersects",
+                      job: SimJob | None = None,
+                      strategy_name: str | None = None, ctx=None,
+                      batch_rows: int | None = None):
+        """Batched :meth:`query`: yields column-major :class:`RowBatch`es.
+
+        Rows flow straight from block decode through the exact
+        spatio-temporal post-filter into a columnar batch builder; the
+        per-row dict never crosses an operator boundary.
+        """
+        from repro.core.query import choose_strategy  # avoid import cycle
+        from repro.dataframe.batch import DEFAULT_BATCH_ROWS, BatchBuilder
+        if strategy_name is None:
+            strategy_name, query = choose_strategy(self, query)
+        strategy = self.strategies[strategy_name]
+        ranges = strategy.ranges(query)
+        builder = BatchBuilder(self.columns(),
+                               batch_rows or DEFAULT_BATCH_ROWS)
+        for rows in self.scan_ranges_batches(strategy_name, ranges, job,
+                                             ctx, batch_rows):
+            for row in rows:
+                if self._matches(row, query, predicate):
+                    full = builder.add(self.decorate_row(row))
+                    if full is not None:
+                        yield full
+        tail = builder.take()
+        if tail is not None:
+            yield tail
+
+    def full_scan_batches(self, job: SimJob | None = None, ctx=None,
+                          batch_rows: int | None = None):
+        """Batched :meth:`full_scan`: yields :class:`RowBatch`es."""
+        from repro.dataframe.batch import DEFAULT_BATCH_ROWS, BatchBuilder
+        before = self.store.stats.snapshot()
+        decode = self.codec.decode_row
+        decorate = self.decorate_row
+        builder = BatchBuilder(self.columns(),
+                               batch_rows or DEFAULT_BATCH_ROWS)
+        scanned = 0
+        batches = 0
+        try:
+            for kv_batch in self._id_table.scan_batches(
+                    ScanSpec.full(), ctx, batch_rows):
+                scanned += len(kv_batch)
+                batches += 1
+                for _key, payload in kv_batch:
+                    full = builder.add(decorate(decode(payload)))
+                    if full is not None:
+                        yield full
+            tail = builder.take()
+            if tail is not None:
+                yield tail
+        finally:
+            if job is not None:
+                delta = self.store.stats.snapshot().delta(before)
+                job.charge_store_scan(delta, num_ranges=1)
+                job.charge_cpu_batch(scanned, batches)
 
     def _attribute_index(self, field_name: str):
         try:

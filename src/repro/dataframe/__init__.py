@@ -7,7 +7,13 @@ partitions; operations produce new DataFrames and never mutate rows in
 place.  Rows are plain ``dict`` objects keyed by column name.
 """
 
-from repro.dataframe.dataframe import DataFrame
+from repro.dataframe.batch import (
+    DEFAULT_BATCH_ROWS,
+    BatchBuilder,
+    RowBatch,
+    batches_from_rows,
+)
+from repro.dataframe.dataframe import DataFrame, estimate_value_bytes
 from repro.dataframe.functions import (
     AggregateSpec,
     agg_avg,
@@ -20,6 +26,11 @@ from repro.dataframe.functions import (
 
 __all__ = [
     "DataFrame",
+    "RowBatch",
+    "BatchBuilder",
+    "DEFAULT_BATCH_ROWS",
+    "batches_from_rows",
+    "estimate_value_bytes",
     "AggregateSpec",
     "agg_avg",
     "agg_count",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator
 
+from repro.dataframe.batch import DEFAULT_BATCH_ROWS, RowBatch
 from repro.dataframe.functions import AggregateSpec
 from repro.errors import ExecutionError
 
@@ -19,10 +20,20 @@ class DataFrame:
     value reads as ``None``) but must not carry extras after a
     ``select``.  Operations return new DataFrames; partitioning is
     preserved where the operation allows and rebalanced otherwise.
+
+    A DataFrame may be backed by column-major :class:`RowBatch`es
+    instead of row lists (the vectorized scan path builds these).  Row
+    partitions are then materialized lazily — one partition per batch —
+    the first time a row-oriented operation needs them; columnar
+    operations (``count``, ``select``, ``limit``) have fast paths that
+    never pivot back to rows.
     """
 
-    def __init__(self, partitions: list[list[Row]], columns: list[str]):
-        self._partitions = partitions
+    def __init__(self, partitions: list[list[Row]] | None,
+                 columns: list[str],
+                 batches: list[RowBatch] | None = None):
+        self._parts = partitions
+        self._batches = batches
         self.columns = list(columns)
 
     # -- construction --------------------------------------------------------
@@ -40,15 +51,51 @@ class DataFrame:
         return cls(partitions, columns)
 
     @classmethod
+    def from_batches(cls, batches: list[RowBatch],
+                     columns: list[str]) -> "DataFrame":
+        """Build a batch-backed DataFrame (one partition per batch)."""
+        return cls(None, columns, batches=list(batches))
+
+    @classmethod
     def empty(cls, columns: list[str]) -> "DataFrame":
         return cls([[]], columns)
+
+    # -- batch backing -------------------------------------------------------
+    @property
+    def _partitions(self) -> list[list[Row]]:
+        if self._parts is None:
+            self._parts = [b.to_rows() for b in self._batches] or [[]]
+        return self._parts
+
+    @property
+    def num_batches(self) -> int:
+        """Batches backing this DataFrame (0 when row-backed)."""
+        return len(self._batches) if self._batches is not None else 0
+
+    def to_batches(self, batch_rows: int = DEFAULT_BATCH_ROWS) \
+            -> list[RowBatch]:
+        """This DataFrame's rows as column-major batches.
+
+        Batch-backed frames return their batches as-is; row-backed
+        frames pivot each non-empty partition into one batch.
+        """
+        if self._batches is not None:
+            return list(self._batches)
+        return [RowBatch.from_rows(p, self.columns)
+                for p in self._partitions if p]
 
     # -- basic accessors -------------------------------------------------------
     @property
     def num_partitions(self) -> int:
+        if self._parts is None:
+            return max(1, len(self._batches))
         return len(self._partitions)
 
     def iter_rows(self) -> Iterator[Row]:
+        if self._parts is None:
+            for batch in self._batches:
+                yield from batch.iter_rows()
+            return
         for partition in self._partitions:
             yield from partition
 
@@ -57,6 +104,8 @@ class DataFrame:
         return list(self.iter_rows())
 
     def count(self) -> int:
+        if self._parts is None:
+            return sum(len(b) for b in self._batches)
         return sum(len(p) for p in self._partitions)
 
     def first(self) -> Row | None:
@@ -73,6 +122,10 @@ class DataFrame:
         unknown = [c for c in columns if c not in self.columns]
         if unknown:
             raise ExecutionError(f"unknown columns in select: {unknown}")
+        if self._parts is None:
+            # Columnar: share the kept column lists, no row rebuilds.
+            return DataFrame.from_batches(
+                [b.select(columns) for b in self._batches], columns)
         parts = [[{c: row.get(c) for c in columns} for row in p]
                  for p in self._partitions]
         return DataFrame(parts, columns)
@@ -138,6 +191,20 @@ class DataFrame:
         return DataFrame([rows], self.columns)
 
     def limit(self, n: int) -> "DataFrame":
+        if self._parts is None:
+            # Columnar: slice whole batches instead of copying rows.
+            kept: list[RowBatch] = []
+            remaining = n
+            for batch in self._batches:
+                if remaining <= 0:
+                    break
+                if len(batch) <= remaining:
+                    kept.append(batch)
+                    remaining -= len(batch)
+                else:
+                    kept.append(batch.slice(0, remaining))
+                    remaining = 0
+            return DataFrame.from_batches(kept, self.columns)
         rows = []
         for row in self.iter_rows():
             if len(rows) >= n:
@@ -210,20 +277,63 @@ class DataFrame:
 
     # -- sizing --------------------------------------------------------------
     def estimated_bytes(self) -> int:
-        """Rough in-memory footprint used for cost accounting."""
+        """Rough in-memory footprint used for cost accounting.
+
+        Container values — trajectory series, geometry coordinate
+        lists, nested dicts — are sized recursively; charging them a
+        scalar's 32 bytes would make a frame of trajectory blobs look
+        as cheap to ship as a frame of integers.
+        """
+        if self._parts is None:
+            total = 0
+            for batch in self._batches:
+                total += 64 * len(batch)  # row object overhead
+                for values in batch.data.values():
+                    for value in values:
+                        total += estimate_value_bytes(value)
+            return total
         total = 0
         for row in self.iter_rows():
             total += 64  # row object overhead
             for value in row.values():
-                if isinstance(value, (str, bytes)):
-                    total += len(value) + 48
-                else:
-                    total += 32
+                total += estimate_value_bytes(value)
         return total
 
     def __repr__(self) -> str:
         return (f"DataFrame(columns={self.columns}, rows={self.count()}, "
                 f"partitions={self.num_partitions})")
+
+
+def estimate_value_bytes(value) -> int:
+    """Approximate in-memory size of one column value, recursively.
+
+    Duck-typed for the engine's value types (trajectory series expose
+    ``points``, line strings ``coords``, polygons ``ring``) so the
+    dataframe layer stays independent of the geometry package.
+    """
+    if value is None:
+        return 16
+    if isinstance(value, (str, bytes)):
+        return len(value) + 48
+    if isinstance(value, (bool, int, float)):
+        return 32
+    if isinstance(value, dict):
+        return 64 + sum(estimate_value_bytes(k) + estimate_value_bytes(v)
+                        for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 56 + sum(estimate_value_bytes(v) for v in value)
+    points = getattr(value, "points", None)
+    if points is not None and not callable(points):
+        return 56 + 48 * len(points)  # STSeries: (lng, lat, t) samples
+    coords = getattr(value, "coords", None)
+    if coords is not None and not callable(coords):
+        return 56 + 16 * len(coords)  # LineString
+    ring = getattr(value, "ring", None)
+    if ring is not None and not callable(ring):
+        return 56 + 16 * len(ring)  # Polygon
+    if hasattr(value, "lng") and hasattr(value, "lat"):  # Point
+        return 48
+    return 32
 
 
 class _AlwaysLast:

@@ -275,6 +275,21 @@ class Region:
             if value is not None:  # tombstones yield nothing
                 yield key, value
 
+    def scan_batches(self, start: bytes, stop: bytes | None,
+                     cache: BlockCache | None, ctx=None, replica=None,
+                     batch_rows: int | None = None):
+        """Batched :meth:`scan`: yields lists of ``(key, value)`` pairs.
+
+        Same streaming merge, same lazy block charging, same in-merge
+        deadline checks — the entries are just handed to the consumer a
+        batch at a time so it can amortize per-row work (decode,
+        accounting) across the batch.
+        """
+        from repro.kvstore.scan import DEFAULT_BATCH_ROWS, chunk_pairs
+        yield from chunk_pairs(
+            self.scan(start, stop, cache, ctx, replica=replica),
+            batch_rows or DEFAULT_BATCH_ROWS)
+
     def _ranked_sstable_stream(self, sstable: SSTable, rank: int,
                                lo: bytes, hi: bytes | None,
                                cache: BlockCache | None, server: int):

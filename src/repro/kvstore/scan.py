@@ -4,6 +4,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Entries per batch on the batched scan path.  Matches the dataframe
+#: layer's row-batch size so one KV batch decodes into one RowBatch.
+DEFAULT_BATCH_ROWS = 256
+
+
+def chunk_pairs(pairs, batch_rows: int = DEFAULT_BATCH_ROWS):
+    """Group a ``(key, value)`` stream into lists of ``batch_rows``.
+
+    The source generator is pulled lazily, one batch ahead of the
+    consumer, so deadline checks and lazy block charges inside the
+    stream keep their granularity.
+    """
+    batch: list = []
+    for pair in pairs:
+        batch.append(pair)
+        if len(batch) >= batch_rows:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
 
 def prefix_successor(prefix: bytes) -> bytes | None:
     """The smallest byte string greater than every key with ``prefix``.

@@ -88,19 +88,31 @@ class SSTable:
     def scan(self, start: bytes, stop: bytes | None,
              cache: BlockCache | None = None, server: int = 0):
         """Yield entries with start <= key < stop, charging touched blocks;
-        ``stop=None`` is unbounded above."""
-        lo = bisect_left(self._keys, start)
-        hi = len(self._keys) if stop is None \
-            else bisect_left(self._keys, stop)
+        ``stop=None`` is unbounded above.
+
+        The scan proceeds block-at-a-time: each block is charged once as
+        the scan reaches it, then its entries stream out of a plain
+        index range — no per-entry block lookup.  Charging stays lazy,
+        so an early ``LIMIT`` or a cancelled consumer never pays for
+        blocks the merge did not reach.
+        """
+        keys = self._keys
+        values = self._values
+        lo = bisect_left(keys, start)
+        hi = len(keys) if stop is None else bisect_left(keys, stop)
         if lo >= hi:
             return
-        touched: set[int] = set()
-        for i in range(lo, hi):
-            block = self._block_of(i)
-            if block not in touched:
-                touched.add(block)
-                self._charge_block(block, cache, server)
-            yield self._keys[i], self._values[i]
+        starts = self._block_starts
+        block = self._block_of(lo)
+        i = lo
+        while i < hi:
+            block_end = starts[block + 1] if block + 1 < len(starts) \
+                else len(keys)
+            self._charge_block(block, cache, server)
+            for j in range(i, min(hi, block_end)):
+                yield keys[j], values[j]
+            i = block_end
+            block += 1
 
     def get(self, key: bytes, cache: BlockCache | None = None,
             server: int = 0) -> tuple[bool, bytes | None]:

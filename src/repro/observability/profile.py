@@ -140,8 +140,9 @@ def analyze_rows(profile: QueryProfile) -> list[dict]:
     """EXPLAIN ANALYZE rows: one per operator/region-scan span.
 
     Columns mirror what HBase+Spark tooling would report per operator:
-    output rows, HFile blocks read from disk, block-cache hits, the hit
-    rate over touched blocks, and inclusive simulated milliseconds.
+    output rows, row batches processed (0 on the row-at-a-time path),
+    HFile blocks read from disk, block-cache hits, the hit rate over
+    touched blocks, and inclusive simulated milliseconds.
     """
     rows = []
     for depth, span in profile.root.walk():
@@ -153,6 +154,7 @@ def analyze_rows(profile: QueryProfile) -> list[dict]:
         rows.append({
             "operator": "  " * (depth - 1) + span.name,
             "rows": span.rows,
+            "batches": span.attrs.get("batches", 0),
             "blocks_read": span.blocks_read,
             "cache_hits": span.cache_hits,
             "cache_hit_rate": None if rate is None else round(rate, 3),

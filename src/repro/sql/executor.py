@@ -118,7 +118,7 @@ def _run_explain_analyze(engine, stmt: ExplainStmt, namespace: str,
     profile.finish(job.elapsed_ms, rows=df.count())
     result = ResultSet.from_rows(
         analyze_rows(profile),
-        ["operator", "rows", "blocks_read", "cache_hits",
+        ["operator", "rows", "batches", "blocks_read", "cache_hits",
          "cache_hit_rate", "sim_ms"], job)
     if ctx.skipped:
         result.skipped_regions = ctx.skipped_report

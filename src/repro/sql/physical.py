@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.core.knn import knn_query
 from repro.curves.strategies import STQuery
-from repro.dataframe import DataFrame
+from repro.dataframe import DataFrame, RowBatch
 from repro.errors import ExecutionError
 from repro.geometry.envelope import Envelope
 from repro.geometry.point import Point
@@ -28,6 +28,7 @@ from repro.sql.ast import (
     Literal,
 )
 from repro.sql.expressions import eval_expr, split_conjuncts
+from repro.sql.vectorized import eval_expr_batch
 from repro.sql.functions import (
     AGGREGATE_FUNCTIONS,
     NM_FUNCTIONS,
@@ -98,6 +99,10 @@ def execute_plan(plan: LogicalNode, engine, job, ctx=None) -> DataFrame:
                     cache_hits=delta.cache_hits,
                     disk_bytes_read=delta.disk_bytes_read)
             span.attrs["rows_out"] = df.count()
+            # The scan node records its source batch count (plus batch
+            # timings) itself; every other operator reports the batches
+            # backing its output frame (0 on the row-at-a-time path).
+            span.attrs.setdefault("batches", df.num_batches)
     metrics = getattr(engine, "metrics", None)
     if metrics is not None:
         metrics.histogram("sql.operator_ms", op=op_name).observe(
@@ -115,8 +120,15 @@ def _execute_node(plan: LogicalNode, engine, job, ctx=None) -> DataFrame:
         return _execute_system_scan(plan, engine, job)
     if isinstance(plan, FilterNode):
         child = execute_plan(plan.child, engine, job, ctx)
-        job.charge_cpu_records(child.count())
         extra = _extra_functions(engine)
+        if getattr(engine, "vectorized", False) and child.num_batches:
+            batches = child.to_batches()
+            out = [_filter_batch(b, [plan.predicate], extra)
+                   for b in batches]
+            job.charge_cpu_batch(child.count(), len(batches))
+            return DataFrame.from_batches([b for b in out if len(b)],
+                                          child.columns)
+        job.charge_cpu_records(child.count())
         return child.where(
             lambda row: eval_expr(plan.predicate, row, extra) is True)
     if isinstance(plan, ProjectNode):
@@ -188,28 +200,69 @@ def _execute_system_scan(plan: SystemScanNode, engine, job) -> DataFrame:
     return df
 
 
+def _st_query(preds: _ScanPredicates) -> STQuery:
+    """The spatio-temporal predicate the planner pushed into the scan.
+
+    Only a two-sided time window is pushable: the curve strategies
+    enumerate finite period bins, so an open-ended bound (``time > x``
+    alone) cannot become an index range — it stays residual-only (the
+    classifier already keeps single-sided comparisons in the residual
+    list).
+    """
+    t_min, t_max = preds.t_min, preds.t_max
+    if t_min is None or t_max is None:
+        t_min = t_max = None
+    return STQuery(preds.envelope, t_min, t_max)
+
+
+def _has_pushed_st(preds: _ScanPredicates) -> bool:
+    """Does the scan carry an index-servable spatio-temporal window?"""
+    return preds.envelope is not None or \
+        (preds.t_min is not None and preds.t_max is not None)
+
+
+def _apply_pushed_st_filter(table, preds: _ScanPredicates,
+                            rows: list[dict]) -> list[dict]:
+    """Enforce envelope/time conjuncts on the point/kNN access paths.
+
+    The classifier consumes spatial conjuncts (and BETWEEN temporal
+    conjuncts) into ``preds`` expecting a range scan to serve them; when
+    primary-key or kNN access wins instead, those conjuncts must still
+    be applied per row or the scan silently returns rows outside the
+    requested window.
+    """
+    if not _has_pushed_st(preds):
+        return rows
+    query = _st_query(preds)
+    return [row for row in rows
+            if table._matches(row, query, preds.spatial_mode)]
+
+
 def _execute_scan(plan: ScanNode, engine, job, ctx=None) -> DataFrame:
     table = engine.table(plan.table_name)
     preds = _classify_conjuncts(plan.pushed_filter, table)
     extra = _extra_functions(engine)
+    columns = plan.pushed_projection or table.columns()
 
     if preds.knn is not None:
         point, k = preds.knn
         result = knn_query(table, point.lng, point.lat, k, job)
-        rows = result.rows
+        rows = _apply_pushed_st_filter(table, preds, result.rows)
     elif preds.fid is not None:
-        row = table.get(str(preds.fid), ctx)
+        row = table.get(str(preds.fid), ctx, job=job)
         job.charge_cpu_records(1)
         rows = [row] if row is not None else []
+        rows = _apply_pushed_st_filter(table, preds, rows)
     elif preds.attr is not None and preds.envelope is None \
             and preds.t_min is None:
         field_name, value = preds.attr
         rows = table.attribute_query(field_name, value, job, ctx)
-    elif preds.envelope is not None or preds.t_min is not None:
-        query = STQuery(preds.envelope, preds.t_min, preds.t_max)
-        if preds.t_min is not None and preds.t_max is None:
-            query = STQuery(preds.envelope, preds.t_min, float("inf"))
-        rows = table.query(query, preds.spatial_mode, job, ctx=ctx)
+    elif getattr(engine, "vectorized", False):
+        return _execute_scan_batched(plan, table, preds, engine, job,
+                                     ctx, columns, extra)
+    elif _has_pushed_st(preds):
+        rows = table.query(_st_query(preds), preds.spatial_mode, job,
+                           ctx=ctx)
     else:
         rows = table.full_scan(job, ctx)
 
@@ -218,11 +271,79 @@ def _execute_scan(plan: ScanNode, engine, job, ctx=None) -> DataFrame:
         rows = [row for row in rows
                 if all(eval_expr(c, row, extra) is True
                        for c in preds.residual)]
-    columns = plan.pushed_projection or table.columns()
     if plan.pushed_projection is not None:
         rows = [{c: row.get(c) for c in columns} for row in rows]
     return DataFrame.from_rows(rows, columns,
                                engine.cluster.num_servers)
+
+
+def _execute_scan_batched(plan: ScanNode, table, preds: _ScanPredicates,
+                          engine, job, ctx, columns: list[str],
+                          extra: dict) -> DataFrame:
+    """Range/full scan served batch-at-a-time.
+
+    Rows stream out of SSTable block decode as column-major
+    :class:`RowBatch`es; the residual filter evaluates one mask per
+    batch and the pushed projection narrows batches by sharing column
+    lists — no per-row dict ever crosses this function.
+    """
+    if _has_pushed_st(preds):
+        source = table.query_batches(_st_query(preds),
+                                     preds.spatial_mode, job, ctx=ctx)
+    else:
+        source = table.full_scan_batches(job, ctx)
+
+    batches: list[RowBatch] = []
+    rows_in = 0
+    num_source = 0
+    batch_ms: list[float] = []
+    last_ms = job.elapsed_ms
+    for batch in source:
+        num_source += 1
+        rows_in += len(batch)
+        if preds.residual:
+            batch = _filter_batch(batch, preds.residual, extra)
+        if plan.pushed_projection is not None:
+            batch = batch.select(columns)
+        if len(batch):
+            batches.append(batch)
+        now = job.elapsed_ms
+        batch_ms.append(now - last_ms)
+        last_ms = now
+    if preds.residual:
+        job.charge_cpu_batch(rows_in, num_source)
+
+    profile = getattr(ctx, "profile", None) if ctx is not None else None
+    if profile is not None:
+        span = profile.current
+        span.attrs["batches"] = num_source
+        if batch_ms:
+            span.attrs["batch_ms_max"] = round(max(batch_ms), 3)
+            span.attrs["batch_ms_avg"] = round(
+                sum(batch_ms) / len(batch_ms), 3)
+    return DataFrame.from_batches(batches, columns)
+
+
+def _filter_batch(batch: RowBatch, conjuncts: list[Expr],
+                  extra: dict) -> RowBatch:
+    """Keep the batch's rows where every conjunct evaluates to TRUE.
+
+    Falls back to the row-at-a-time evaluator for the whole batch when
+    vectorized evaluation raises — either a genuinely bad expression
+    (the fallback re-raises it from the offending row, preserving row
+    semantics) or a side that only short-circuiting would have skipped.
+    """
+    try:
+        masks = [eval_expr_batch(c, batch, extra) for c in conjuncts]
+    except (ExecutionError, TypeError):
+        rows = [row for row in batch.iter_rows()
+                if all(eval_expr(c, row, extra) is True
+                       for c in conjuncts)]
+        return RowBatch.from_rows(rows, batch.columns)
+    if len(masks) == 1:
+        return batch.filter(masks[0])
+    return batch.filter([all(m is True for m in ms)
+                         for ms in zip(*masks)])
 
 
 def _classify_conjuncts(predicate: Expr | None, table) -> _ScanPredicates:
@@ -374,7 +495,6 @@ def _is_fid(conjunct: Expr, pk_name: str | None,
 def _execute_project(plan: ProjectNode, engine, job, ctx=None) -> DataFrame:
     child = execute_plan(plan.child, engine, job, ctx)
     extra = _extra_functions(engine)
-    job.charge_cpu_records(child.count())
 
     set_items = [(expr, name) for expr, name in plan.projections
                  if _projection_kind(expr, extra) == "set"]
@@ -385,16 +505,40 @@ def _execute_project(plan: ProjectNode, engine, job, ctx=None) -> DataFrame:
             "at most one 1-N or N-M operation per SELECT")
 
     if nm_items:
+        job.charge_cpu_records(child.count())
         return _execute_dbscan(plan, child, nm_items[0], extra)
     if set_items:
+        job.charge_cpu_records(child.count())
         return _execute_set_projection(plan, child, set_items[0], extra,
                                        engine, job)
+
+    names = [n for _e, n in plan.projections]
+    if getattr(engine, "vectorized", False) and child.num_batches:
+        out = [_project_batch(b, plan.projections, extra)
+               for b in child.to_batches()]
+        job.charge_cpu_batch(child.count(), child.num_batches)
+        return DataFrame.from_batches(out, names)
+    job.charge_cpu_records(child.count())
 
     def project(row: dict) -> dict:
         return {name: eval_expr(expr, row, extra)
                 for expr, name in plan.projections}
 
-    return child.map_rows(project, [n for _e, n in plan.projections])
+    return child.map_rows(project, names)
+
+
+def _project_batch(batch: RowBatch, projections, extra: dict) -> RowBatch:
+    """Evaluate scalar projections column-at-a-time over one batch."""
+    names = [n for _e, n in projections]
+    try:
+        data = {name: eval_expr_batch(expr, batch, extra)
+                for expr, name in projections}
+    except (ExecutionError, TypeError):
+        rows = [{name: eval_expr(expr, row, extra)
+                 for expr, name in projections}
+                for row in batch.iter_rows()]
+        return RowBatch.from_rows(rows, names)
+    return RowBatch(data, names, len(batch))
 
 
 def _projection_kind(expr: Expr, extra: dict) -> str:
@@ -462,6 +606,8 @@ def _execute_aggregate(plan: AggregateNode, engine, job,
                        ctx=None) -> DataFrame:
     child = execute_plan(plan.child, engine, job, ctx)
     extra = _extra_functions(engine)
+    if getattr(engine, "vectorized", False) and child.num_batches:
+        return _execute_aggregate_batched(plan, child, extra, job)
     job.charge_cpu_records(child.count(), us_per_record=4.0)
 
     group_names = [name for _e, name in plan.group_exprs]
@@ -487,6 +633,66 @@ def _execute_aggregate(plan: AggregateNode, engine, job,
         result = prepared.group_by(["__global"], specs)
         return result.select([s.output for s in specs])
     return prepared.group_by(group_names, specs)
+
+
+def _eval_column(expr: Expr, batch: RowBatch, extra: dict) -> list:
+    """One expression over one batch, with row-at-a-time fallback."""
+    try:
+        return eval_expr_batch(expr, batch, extra)
+    except (ExecutionError, TypeError):
+        return [eval_expr(expr, row, extra) for row in batch.iter_rows()]
+
+
+def _execute_aggregate_batched(plan: AggregateNode, child: DataFrame,
+                               extra: dict, job) -> DataFrame:
+    """Hash aggregation folding column-major batches directly.
+
+    Group keys and aggregate inputs are evaluated once per batch as
+    whole columns; the fold then indexes into those lists instead of
+    materializing widened per-row dicts the way the row path's
+    ``with_column`` chain does.
+    """
+    specs: list[AggregateSpec] = []
+    agg_exprs: list[Expr | None] = []
+    for call, output in plan.agg_calls:
+        factory = AGGREGATE_FUNCTIONS[call.name]
+        if call.is_star_count or not call.args:
+            specs.append(factory(output))
+            agg_exprs.append(None)  # COUNT(*): step ignores the value
+        else:
+            specs.append(factory(f"__agg_in_{output}", output))
+            agg_exprs.append(call.args[0])
+
+    group_names = [name for _e, name in plan.group_exprs]
+    batches = child.to_batches()
+    groups: dict[tuple, list[object]] = {}
+    total = 0
+    for batch in batches:
+        total += len(batch)
+        key_cols = [_eval_column(expr, batch, extra)
+                    for expr, _name in plan.group_exprs]
+        in_cols = [None if e is None else _eval_column(e, batch, extra)
+                   for e in agg_exprs]
+        for i in range(len(batch)):
+            key = tuple(col[i] for col in key_cols)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [spec.seed() for spec in specs]
+                groups[key] = accs
+            for j, spec in enumerate(specs):
+                col = in_cols[j]
+                accs[j] = spec.step(accs[j],
+                                    None if col is None else col[i])
+    job.charge_cpu_batch(total, len(batches), us_per_record=0.8)
+
+    columns = group_names + [spec.output for spec in specs]
+    out = []
+    for key, accs in groups.items():
+        row = dict(zip(group_names, key))
+        for spec, acc in zip(specs, accs):
+            row[spec.output] = spec.final(acc)
+        out.append(row)
+    return DataFrame.from_rows(out, columns, child.num_partitions)
 
 
 def _execute_sort(plan: SortNode, engine, job, ctx=None) -> DataFrame:

@@ -1,0 +1,147 @@
+"""Batch-at-a-time expression evaluation over :class:`RowBatch`es.
+
+``eval_expr_batch`` mirrors :func:`repro.sql.expressions.eval_expr`
+value-for-value — SQL three-valued logic, ``NULL`` propagation, division
+by zero yielding ``NULL`` — but walks the expression tree once per batch
+and loops over column lists at the leaves, instead of re-dispatching the
+tree for every row.
+
+One deliberate difference: ``AND``/``OR`` evaluate both sides for the
+whole batch (no per-row short-circuit), so a side that would raise only
+on short-circuited rows raises here.  Callers treat any raise as "this
+batch is not vectorizable" and fall back to the row-at-a-time
+evaluator, which preserves exact row-path semantics.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe.batch import RowBatch
+from repro.errors import ExecutionError
+from repro.sql.ast import (
+    Aliased,
+    Between,
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    InFunc,
+    IsNull,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.expressions import _like
+from repro.sql.functions import (
+    SCALAR_FUNCTIONS,
+    SET_FUNCTIONS,
+    lookup_scalar,
+)
+
+
+def eval_expr_batch(expr: Expr, batch: RowBatch,
+                    extra_functions: dict | None = None) -> list:
+    """Evaluate ``expr`` over every row of ``batch``; returns one list
+    of results, index-aligned with the batch's rows."""
+    n = len(batch)
+    if isinstance(expr, Literal):
+        return [expr.value] * n
+    if isinstance(expr, Column):
+        if expr.name not in batch:
+            raise ExecutionError(f"unknown column {expr.name!r}")
+        return batch.column(expr.name)
+    if isinstance(expr, Aliased):
+        return eval_expr_batch(expr.expr, batch, extra_functions)
+    if isinstance(expr, UnaryOp):
+        values = eval_expr_batch(expr.operand, batch, extra_functions)
+        if expr.op == "-":
+            return [None if v is None else -v for v in values]
+        if expr.op == "not":
+            return [None if v is None else not bool(v) for v in values]
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Between):
+        values = eval_expr_batch(expr.operand, batch, extra_functions)
+        lows = eval_expr_batch(expr.low, batch, extra_functions)
+        highs = eval_expr_batch(expr.high, batch, extra_functions)
+        return [None if v is None or lo is None or hi is None
+                else lo <= v <= hi
+                for v, lo, hi in zip(values, lows, highs)]
+    if isinstance(expr, IsNull):
+        values = eval_expr_batch(expr.operand, batch, extra_functions)
+        if expr.negated:
+            return [v is not None for v in values]
+        return [v is None for v in values]
+    if isinstance(expr, BinaryOp):
+        return _eval_binary_batch(expr, batch, extra_functions)
+    if isinstance(expr, FuncCall):
+        if extra_functions and expr.name in extra_functions:
+            fn = extra_functions[expr.name]
+        elif expr.name in SET_FUNCTIONS:
+            raise ExecutionError(
+                f"{expr.name} produces multiple rows; use it as the "
+                f"projection of a SELECT")
+        else:
+            fn = lookup_scalar(expr.name)
+        arg_lists = [eval_expr_batch(a, batch, extra_functions)
+                     for a in expr.args]
+        return [fn(*args) for args in zip(*arg_lists)] if arg_lists \
+            else [fn() for _ in range(n)]
+    if isinstance(expr, InFunc):
+        raise ExecutionError(
+            f"{expr.func.name} membership must be served by the planner")
+    if isinstance(expr, Star):
+        raise ExecutionError("'*' is not a value expression")
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_binary_batch(expr: BinaryOp, batch: RowBatch,
+                       extra_functions) -> list:
+    op = expr.op
+    lefts = eval_expr_batch(expr.left, batch, extra_functions)
+    rights = eval_expr_batch(expr.right, batch, extra_functions)
+    if op == "and":
+        out = []
+        for left, right in zip(lefts, rights):
+            if (left is not None and not bool(left)) or \
+                    (right is not None and not bool(right)):
+                out.append(False)
+            elif left is None or right is None:
+                out.append(None)
+            else:
+                out.append(True)
+        return out
+    if op == "or":
+        out = []
+        for left, right in zip(lefts, rights):
+            if (left is not None and bool(left)) or \
+                    (right is not None and bool(right)):
+                out.append(True)
+            elif left is None or right is None:
+                out.append(None)
+            else:
+                out.append(False)
+        return out
+    if op == "within":
+        within = SCALAR_FUNCTIONS["st_within"]
+        return [within(left, right)
+                for left, right in zip(lefts, rights)]
+    fn = _BINARY_OPS.get(op)
+    if fn is None:
+        raise ExecutionError(f"unknown operator {op!r}")
+    return [None if left is None or right is None else fn(left, right)
+            for left, right in zip(lefts, rights)]
+
+
+_BINARY_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: None if b == 0 else a / b,
+    "%": lambda a, b: None if b == 0 else a % b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "like": lambda a, b: _like(str(a), str(b)),
+}

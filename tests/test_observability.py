@@ -241,8 +241,9 @@ class TestExplainAnalyze:
     def test_every_operator_reports_counters(self, poi_engine):
         poi_engine.table("poi").flush()  # read path must touch blocks
         rs = poi_engine.sql("EXPLAIN ANALYZE " + ST_QUERY)
-        assert rs.columns == ["operator", "rows", "blocks_read",
-                              "cache_hits", "cache_hit_rate", "sim_ms"]
+        assert rs.columns == ["operator", "rows", "batches",
+                              "blocks_read", "cache_hits",
+                              "cache_hit_rate", "sim_ms"]
         rows = rs.rows
         assert len(rows) >= 2  # at least Project + Scan
         names = [r["operator"] for r in rows]
@@ -251,11 +252,15 @@ class TestExplainAnalyze:
         assert any("RegionScan[" in n for n in names)
         for r in rows:
             assert isinstance(r["rows"], int)
+            assert isinstance(r["batches"], int)
             assert isinstance(r["blocks_read"], int)
             assert isinstance(r["cache_hits"], int)
             assert isinstance(r["sim_ms"], float)
         top = rows[0]
         assert top["sim_ms"] > 0
+        # The vectorized scan reports how many source batches it pulled.
+        scan = next(r for r in rows if "Scan[" in r["operator"])
+        assert scan["batches"] > 0
         # The flushed table forces real block I/O somewhere in the tree.
         assert sum(r["blocks_read"] + r["cache_hits"] for r in rows) > 0
 

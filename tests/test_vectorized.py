@@ -1,0 +1,391 @@
+"""Vectorized (batch-at-a-time) execution: RowBatch mechanics, the
+column-wise expression evaluator, executor equivalence with the
+row-at-a-time baseline, accounting exactness, and the scan-path
+correctness fixes that rode along (pushed spatio-temporal conjuncts on
+the point-get/kNN paths, point-get I/O charging, recursive container
+sizing)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as hyp
+
+from repro import JustEngine, Point, Schema
+from repro.dataframe import DataFrame, RowBatch, estimate_value_bytes
+from repro.dataframe.batch import BatchBuilder, batches_from_rows
+from repro.errors import ExecutionError, QueryTimeoutError
+from repro.resilience import Deadline, RequestContext
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    FuncCall,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.expressions import eval_expr
+from repro.sql.vectorized import eval_expr_batch
+from repro.trajectory import STSeries, Trajectory
+
+from conftest import POI_SCHEMA_FIELDS, T0, make_poi_rows
+
+
+# -- RowBatch mechanics -------------------------------------------------------
+
+class TestRowBatch:
+    def test_from_rows_pivots_and_round_trips(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2}, {"b": "z"}]
+        batch = RowBatch.from_rows(rows, ["a", "b"])
+        assert len(batch) == 3
+        assert batch.column("a") == [1, 2, None]
+        assert batch.column("b") == ["x", None, "z"]
+        assert batch.to_rows() == [{"a": 1, "b": "x"},
+                                   {"a": 2, "b": None},
+                                   {"b": "z", "a": None}]
+
+    def test_select_shares_column_lists(self):
+        batch = RowBatch.from_rows([{"a": 1, "b": 2}], ["a", "b"])
+        narrowed = batch.select(["a"])
+        assert narrowed.column("a") is batch.column("a")
+        assert narrowed.columns == ["a"]
+
+    def test_select_missing_column_reads_none(self):
+        batch = RowBatch.from_rows([{"a": 1}, {"a": 2}], ["a"])
+        widened = batch.select(["a", "ghost"])
+        assert widened.column("ghost") == [None, None]
+
+    def test_filter_is_three_valued(self):
+        batch = RowBatch.from_rows(
+            [{"v": i} for i in range(4)], ["v"])
+        kept = batch.filter([True, False, None, True])
+        assert kept.column("v") == [0, 3]
+
+    def test_filter_all_kept_returns_self(self):
+        batch = RowBatch.from_rows([{"v": 1}], ["v"])
+        assert batch.filter([True]) is batch
+
+    def test_slice(self):
+        batch = RowBatch.from_rows([{"v": i} for i in range(5)], ["v"])
+        assert batch.slice(1, 3).column("v") == [1, 2]
+
+    def test_builder_emits_full_batches(self):
+        builder = BatchBuilder(["v"], batch_rows=2)
+        assert builder.add({"v": 1}) is None
+        full = builder.add({"v": 2})
+        assert full is not None and full.column("v") == [1, 2]
+        builder.add({"v": 3})
+        tail = builder.take()
+        assert tail.column("v") == [3]
+        assert builder.take() is None
+
+    def test_batches_from_rows_chunks(self):
+        rows = [{"v": i} for i in range(5)]
+        batches = list(batches_from_rows(rows, ["v"], batch_rows=2))
+        assert [len(b) for b in batches] == [2, 2, 1]
+
+
+# -- vectorized expression evaluation ----------------------------------------
+
+def col(name):
+    return Column(name)
+
+
+def lit(value):
+    return Literal(value)
+
+
+EXPR_CASES = [
+    BinaryOp("+", col("a"), col("b")),
+    BinaryOp("/", col("a"), col("b")),      # div by 0 -> None per row
+    BinaryOp("%", col("a"), col("b")),
+    BinaryOp(">", col("a"), lit(2)),
+    BinaryOp("=", col("s"), lit("x")),
+    BinaryOp("like", col("s"), lit("x%")),
+    BinaryOp("and", BinaryOp(">", col("a"), lit(0)),
+             BinaryOp("<", col("b"), lit(3))),
+    BinaryOp("or", IsNull(col("a"), negated=False),
+             BinaryOp(">=", col("b"), lit(2))),
+    Between(col("a"), lit(1), lit(3)),
+    UnaryOp("-", col("a")),
+    UnaryOp("not", BinaryOp(">", col("a"), lit(1))),
+    IsNull(col("s"), negated=True),
+    FuncCall("upper", [col("s")]),
+    FuncCall("abs", [UnaryOp("-", col("a"))]),
+]
+
+MIXED_ROWS = [
+    {"a": 1, "b": 2, "s": "x"},
+    {"a": None, "b": 0, "s": "xyz"},
+    {"a": 3, "b": None, "s": None},
+    {"a": 0, "b": 1, "s": "y"},
+    {"a": -2, "b": 3, "s": "x"},
+]
+
+
+class TestEvalExprBatch:
+    @pytest.mark.parametrize("expr", EXPR_CASES,
+                             ids=[repr(e)[:48] for e in EXPR_CASES])
+    def test_matches_row_evaluator(self, expr):
+        batch = RowBatch.from_rows(MIXED_ROWS, ["a", "b", "s"])
+        assert eval_expr_batch(expr, batch, {}) == \
+            [eval_expr(expr, row, {}) for row in MIXED_ROWS]
+
+    def test_unknown_column_raises(self):
+        batch = RowBatch.from_rows(MIXED_ROWS, ["a", "b", "s"])
+        with pytest.raises(ExecutionError):
+            eval_expr_batch(col("ghost"), batch, {})
+
+    def test_literal_broadcasts(self):
+        batch = RowBatch.from_rows(MIXED_ROWS, ["a", "b", "s"])
+        assert eval_expr_batch(lit(7), batch, {}) == [7] * len(MIXED_ROWS)
+
+
+# -- executor equivalence: vectorized vs row-at-a-time ------------------------
+
+EQUIVALENCE_STATEMENTS = [
+    "SELECT * FROM poi",
+    "SELECT fid, name FROM poi WHERE geom WITHIN "
+    "st_makeMBR(116.1, 39.85, 116.3, 40.0)",
+    f"SELECT fid FROM poi WHERE time BETWEEN {T0} AND {T0 + 86400}",
+    f"SELECT name FROM poi WHERE geom WITHIN "
+    f"st_makeMBR(116.0, 39.8, 116.5, 40.1) AND time > {T0 + 43200} "
+    f"AND name LIKE 'poi1%'",
+    "SELECT fid * 2 AS dbl, upper(name) AS caps FROM poi WHERE fid < 50",
+    "SELECT name, count(*) AS cnt FROM poi GROUP BY name ORDER BY name",
+    "SELECT count(*) AS cnt, min(time) AS lo, max(time) AS hi FROM poi "
+    "WHERE geom WITHIN st_makeMBR(116.0, 39.8, 116.3, 40.0)",
+    "SELECT avg(fid) AS a FROM poi WHERE name = 'nope'",
+    "SELECT fid FROM poi WHERE fid / 0 IS NULL",
+    "SELECT DISTINCT name FROM poi WHERE fid % 3 = 0",
+    "SELECT fid, name FROM poi ORDER BY fid DESC LIMIT 7",
+]
+
+
+def canonical(rows):
+    return sorted(
+        tuple(sorted((k, repr(v)) for k, v in row.items()))
+        for row in rows)
+
+
+def _make_engine(vectorized: bool, rows=None, flush=True) -> JustEngine:
+    engine = JustEngine(vectorized=vectorized)
+    engine.create_table("poi", Schema(list(POI_SCHEMA_FIELDS)))
+    engine.insert("poi", rows if rows is not None else make_poi_rows())
+    if flush:
+        engine.table("poi").flush()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engine_pair():
+    rows = make_poi_rows()
+    return (_make_engine(True, rows), _make_engine(False, rows))
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("statement", EQUIVALENCE_STATEMENTS)
+    def test_seeded_suite_agrees(self, engine_pair, statement):
+        batched, rowwise = engine_pair
+        got = batched.sql(statement).rows
+        want = rowwise.sql(statement).rows
+        if "LIMIT" in statement and "ORDER BY" not in statement:
+            assert len(got) == len(want)
+        else:
+            assert canonical(got) == canonical(want)
+
+    @settings(max_examples=25, deadline=None)
+    @given(lng=hyp.floats(116.0, 116.45), lat=hyp.floats(39.8, 40.05),
+           span=hyp.floats(0.01, 0.3), t_off=hyp.floats(0, 86400 * 5),
+           fid_cut=hyp.integers(0, 500))
+    def test_randomized_filter_projection_property(self, engine_pair,
+                                                   lng, lat, span,
+                                                   t_off, fid_cut):
+        """Residual filter + projection parity on randomized predicates."""
+        batched, rowwise = engine_pair
+        statement = (
+            f"SELECT fid, name FROM poi WHERE geom WITHIN "
+            f"st_makeMBR({lng}, {lat}, {lng + span}, {lat + span}) "
+            f"AND time < {T0 + t_off} AND fid >= {fid_cut}")
+        assert canonical(batched.sql(statement).rows) == \
+            canonical(rowwise.sql(statement).rows)
+
+    def test_batched_scan_is_cheaper(self, engine_pair):
+        """Same I/O, less CPU: the vectorized scan wins on CPU time."""
+        batched, rowwise = engine_pair
+        statement = ("SELECT fid FROM poi WHERE geom WITHIN "
+                     "st_makeMBR(116.0, 39.8, 116.5, 40.1) "
+                     "AND name LIKE 'poi%'")
+        fast = batched.sql(statement).job
+        slow = rowwise.sql(statement).job
+        assert fast.breakdown["cpu"] < slow.breakdown["cpu"]
+        # I/O accounting is identical under batching.
+        assert fast.breakdown["disk_read"] == \
+            pytest.approx(slow.breakdown["disk_read"])
+        assert fast.breakdown["seek"] == pytest.approx(
+            slow.breakdown["seek"])
+
+
+# -- scan-path correctness fixes ----------------------------------------------
+
+class TestPushedConjunctsOnPointPaths:
+    """fid/kNN access must still honour consumed envelope/time conjuncts."""
+
+    @pytest.fixture
+    def engine(self):
+        return _make_engine(True)
+
+    def test_fid_with_excluding_envelope(self, engine):
+        row = engine.sql("SELECT * FROM poi WHERE fid = 7").rows[0]
+        geom = row["geom"]
+        inside = (f"SELECT fid FROM poi WHERE fid = 7 AND geom WITHIN "
+                  f"st_makeMBR({geom.lng - 0.01}, {geom.lat - 0.01}, "
+                  f"{geom.lng + 0.01}, {geom.lat + 0.01})")
+        outside = ("SELECT fid FROM poi WHERE fid = 7 AND geom WITHIN "
+                   "st_makeMBR(0.0, 0.0, 1.0, 1.0)")
+        assert [r["fid"] for r in engine.sql(inside).rows] == [7]
+        assert engine.sql(outside).rows == []
+
+    def test_fid_with_excluding_time_between(self, engine):
+        t = engine.sql("SELECT time FROM poi WHERE fid = 7").rows[0]["time"]
+        inside = (f"SELECT fid FROM poi WHERE fid = 7 "
+                  f"AND time BETWEEN {t - 1} AND {t + 1}")
+        outside = (f"SELECT fid FROM poi WHERE fid = 7 "
+                   f"AND time BETWEEN {t + 100} AND {t + 200}")
+        assert [r["fid"] for r in engine.sql(inside).rows] == [7]
+        assert engine.sql(outside).rows == []
+
+    def test_knn_with_envelope(self, engine):
+        mbr = (116.2, 39.85, 116.3, 39.95)
+        rs = engine.sql(
+            f"SELECT fid, geom FROM poi WHERE geom IN "
+            f"st_KNN(st_makePoint(116.25, 39.9), 10) AND geom WITHIN "
+            f"st_makeMBR({mbr[0]}, {mbr[1]}, {mbr[2]}, {mbr[3]})")
+        assert rs.rows  # the centre sits inside the window
+        for r in rs.rows:
+            assert mbr[0] <= r["geom"].lng <= mbr[2]
+            assert mbr[1] <= r["geom"].lat <= mbr[3]
+
+
+class TestAttributeWithEnvelope:
+    """When the envelope path wins, an indexed attribute equality must
+    still be enforced (it stays in the residual list)."""
+
+    def test_attr_conjunct_survives_envelope_access(self):
+        engine = JustEngine()
+        engine.sql("CREATE TABLE poi (fid integer:primary key, "
+                   "name string, time date, geom point) USERDATA "
+                   "{'just.attribute.indices': 'name'}")
+        rows = make_poi_rows()
+        engine.insert("poi", rows)
+        engine.table("poi").flush()
+        rs = engine.sql(
+            "SELECT fid, name FROM poi WHERE geom WITHIN "
+            "st_makeMBR(116.0, 39.8, 116.5, 40.1) AND name = 'poi3'")
+        expected = {r["fid"] for r in rows if r["name"] == "poi3"}
+        assert {r["fid"] for r in rs.rows} == expected
+        assert all(r["name"] == "poi3" for r in rs.rows)
+
+
+class TestPointGetAccounting:
+    def test_pk_lookup_reports_io(self):
+        """EXPLAIN ANALYZE on a primary-key lookup shows real I/O."""
+        engine = _make_engine(True)
+        engine.store.clear_caches()
+        rs = engine.sql("EXPLAIN ANALYZE SELECT * FROM poi WHERE fid = 7")
+        scan = next(r for r in rs.rows if "Scan[" in r["operator"])
+        assert scan["blocks_read"] + scan["cache_hits"] > 0
+
+    def test_get_charges_job(self):
+        engine = _make_engine(True)
+        engine.store.clear_caches()
+        job = engine.cluster.job()
+        row = engine.table("poi").get("7", job=job)
+        assert row is not None and row["fid"] == 7
+        # One seek plus the block read: the lookup is no longer free.
+        assert job.breakdown.get("seek", 0) > 0
+        assert job.breakdown.get("disk_read", 0) > 0
+
+
+# -- deadline cancellation mid-batch -----------------------------------------
+
+class TestDeadlineMidBatch:
+    def test_batched_scan_honours_deadline(self):
+        engine = _make_engine(True)
+        ctx = RequestContext(deadline=Deadline(0.01))
+        with pytest.raises(QueryTimeoutError):
+            engine.sql("SELECT * FROM poi WHERE geom WITHIN "
+                       "st_makeMBR(116.0, 39.8, 116.5, 40.1)", ctx=ctx)
+
+
+# -- compressed field round-trip ---------------------------------------------
+
+class TestCompressedRoundTrip:
+    def test_gps_list_survives_scan_and_aggregate(self):
+        engine = JustEngine(vectorized=True)
+        engine.sql("CREATE TABLE trips AS trajectory")
+        table = engine.table("trips")
+        rng = random.Random(3)
+        trajectories = []
+        for i in range(20):
+            t0 = T0 + i * 600.0
+            pts = [(116.0 + rng.random() * 0.4,
+                    39.8 + rng.random() * 0.2) for _ in range(15)]
+            pts.sort()
+            series = STSeries([(lng, lat, t0 + j * 30.0)
+                               for j, (lng, lat) in enumerate(pts)])
+            trajectories.append(
+                Trajectory(f"t{i}", f"o{i % 4}", series))
+        table.insert_trajectories(trajectories)
+        table.flush()
+
+        rs = engine.sql("SELECT tid, gps_list FROM trips WHERE gps_list "
+                        "WITHIN st_makeMBR(115.9, 39.7, 116.5, 40.1)")
+        got = {r["tid"]: r["gps_list"] for r in rs.rows}
+        assert len(got) == 20
+        for t in trajectories:
+            # gzip round-trip is exact up to the codec's fixed-point
+            # quantization (1e-6 degree ticks).
+            decoded = got[t.tid].points
+            assert len(decoded) == len(t.series.points)
+            for a, b in zip(decoded, t.series.points):
+                assert a.lng == pytest.approx(b.lng, abs=1e-6)
+                assert a.lat == pytest.approx(b.lat, abs=1e-6)
+                assert a.time == pytest.approx(b.time, abs=1e-3)
+
+        agg = engine.sql("SELECT oid, count(*) AS cnt FROM trips "
+                         "GROUP BY oid ORDER BY oid")
+        assert [(r["oid"], r["cnt"]) for r in agg.rows] == \
+            [("o0", 5), ("o1", 5), ("o2", 5), ("o3", 5)]
+
+
+# -- recursive container sizing ----------------------------------------------
+
+class TestEstimatedBytes:
+    def test_containers_sized_recursively(self):
+        series = STSeries([(116.0 + i * 0.001, 39.9, i * 30.0)
+                           for i in range(100)])
+        fat = DataFrame.from_rows([{"v": series}], ["v"])
+        flat = DataFrame.from_rows([{"v": 1}], ["v"])
+        assert fat.estimated_bytes() > 100 * 32
+        assert fat.estimated_bytes() > 10 * flat.estimated_bytes()
+
+    def test_nested_collections(self):
+        df = DataFrame.from_rows(
+            [{"v": [list(range(10)) for _ in range(10)]}], ["v"])
+        assert df.estimated_bytes() > 100 * 32
+
+    def test_value_estimator_shapes(self):
+        assert estimate_value_bytes(None) == 16
+        assert estimate_value_bytes("abcd") == 52
+        assert estimate_value_bytes(1.5) == 32
+        assert estimate_value_bytes([1, 2]) == 56 + 64
+        assert estimate_value_bytes({"k": 1}) == 64 + 49 + 32
+        assert estimate_value_bytes(Point(116.0, 39.9)) == 48
+
+    def test_batch_backed_frames_use_same_estimator(self):
+        rows = [{"a": "xx", "b": [1, 2, 3]} for _ in range(8)]
+        row_df = DataFrame.from_rows(rows, ["a", "b"], 2)
+        batch_df = DataFrame.from_batches(
+            list(batches_from_rows(rows, ["a", "b"], 4)), ["a", "b"])
+        assert row_df.estimated_bytes() == batch_df.estimated_bytes()
