@@ -34,6 +34,11 @@ Replication demo (quorum writes, promote failover, hedged reads)::
 
     python -m repro replicate --quick
 
+Streaming demo (watermarked windows, materialized views, geofence
+alerts over a transit-delay feed)::
+
+    python -m repro stream --quick
+
 The shell keeps one engine (and one user session) for its lifetime, prints
 result sets as aligned tables, and reports each query's simulated
 latency.  ``--user`` picks the namespace; multiple shells could share an
@@ -187,6 +192,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if argv and argv[0] == "replicate":
         from repro.replication.demo import main as replicate_main
         return replicate_main(argv[1:], out=out)
+    if argv and argv[0] == "stream":
+        from repro.streaming.demo import main as stream_main
+        return stream_main(argv[1:], out=out)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="JustQL shell for the JUST reproduction engine.")

@@ -129,6 +129,7 @@ class JustEngine:
         self._tables: dict[str, CommonTable] = {}
         self._views: dict[str, ViewTable] = {}
         self._topics: dict[str, object] = {}
+        self._stream_loaders: list = []
         #: Future work #3: pick indexes by estimated cost, not rules.
         self.cost_based_planner = cost_based_planner
         #: Future work #4: serve small requests on a single machine,
@@ -327,9 +328,10 @@ class JustEngine:
         return name in self._tables
 
     def table_names(self, prefix: str = "") -> list[str]:
-        """User-table names (``sys.*`` system tables are not listed)."""
+        """User-table names (``sys.*`` system tables and materialized
+        views are not listed — views show up in ``SHOW VIEWS``)."""
         return [m.name for m in self.catalog.list_tables(prefix)
-                if m.kind != "system"]
+                if m.kind not in ("system", "view")]
 
     # -- views ----------------------------------------------------------------------
     def create_view(self, name: str, dataframe: DataFrame,
@@ -340,10 +342,34 @@ class JustEngine:
         self._views[name] = view
         return view
 
+    def create_materialized_view(self, name: str, columns, types=None,
+                                 owner: str | None = None):
+        """Create an empty, incrementally-maintained materialized view.
+
+        Unlike :meth:`create_view` snapshots, the view is registered in
+        the catalog (kind ``"view"``, so ``DESC`` and ``sys.tables``
+        see it) and is kept fresh by whatever stream loader it is
+        attached to (:meth:`StreamLoader.materialize_window`).
+        """
+        from repro.streaming.views import MaterializedView
+        if self.catalog.exists(name) or name in self._views:
+            raise TableExistsError(name)
+        view = MaterializedView(name, columns, types=types, owner=owner)
+        self._views[name] = view
+        self.catalog.create(TableMeta(name, "view", view.schema(),
+                                      index_names=[]))
+        return view
+
+    def is_materialized_view(self, name: str) -> bool:
+        from repro.streaming.views import MaterializedView
+        return isinstance(self._views.get(name), MaterializedView)
+
     def drop_view(self, name: str) -> None:
         if name not in self._views:
             raise TableNotFoundError(name)
         del self._views[name]
+        if self.catalog.exists(name) and self.catalog.get(name).kind == "view":
+            self.catalog.drop(name)
 
     def view(self, name: str) -> ViewTable:
         try:
@@ -377,13 +403,18 @@ class JustEngine:
         return table
 
     def expire_views(self, max_idle_seconds: float) -> list[str]:
-        """Drop views idle for longer than ``max_idle_seconds``."""
+        """Drop *cached* views idle for longer than ``max_idle_seconds``.
+
+        Materialized views are durable pipeline outputs, not session
+        caches — they never expire.
+        """
         import time as _time
         now = _time.monotonic()
         stale = [name for name, view in self._views.items()
-                 if now - view.last_used_at > max_idle_seconds]
+                 if now - view.last_used_at > max_idle_seconds
+                 and not self.is_materialized_view(name)]
         for name in stale:
-            del self._views[name]
+            self.drop_view(name)
         return stale
 
     # -- manipulation operations --------------------------------------------------------
@@ -531,12 +562,28 @@ class JustEngine:
 
     def stream_load(self, topic_name: str, table_name: str,
                     config: dict[str, str], batch_size: int = 1000,
-                    row_filter=None):
-        """Bind a topic to a table; returns the micro-batch loader."""
+                    row_filter=None, start_offset: int = 0,
+                    max_delay_s: float = 0.0, name: str | None = None,
+                    time_field: str | None = None):
+        """Bind a topic to a table; returns the micro-batch loader.
+
+        ``start_offset`` resumes at a saved position; ``max_delay_s``
+        bounds event-time out-of-orderness for the loader's watermark.
+        Every loader is registered for the ``sys.streams`` table.
+        """
         from repro.streaming.stream import StreamLoader
         self.table(table_name)  # validate early
-        return StreamLoader(self, self.topic(topic_name), table_name,
-                            config, batch_size, row_filter)
+        loader = StreamLoader(self, self.topic(topic_name), table_name,
+                              config, batch_size, row_filter,
+                              start_offset=start_offset,
+                              max_delay_s=max_delay_s, name=name,
+                              time_field=time_field)
+        self._stream_loaders.append(loader)
+        return loader
+
+    def stream_loaders(self) -> list:
+        """Every loader created through :meth:`stream_load`."""
+        return list(self._stream_loaders)
 
     # -- SQL ----------------------------------------------------------------------------------
     def sql(self, statement: str, namespace: str = "", ctx=None):

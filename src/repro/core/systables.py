@@ -97,6 +97,21 @@ def _table_rows(engine) -> list[dict]:
     for meta in engine.catalog.list_tables():
         if meta.kind == "system":
             continue
+        if meta.kind == "view":
+            view = engine._views.get(meta.name)
+            if view is None:
+                continue
+            rows.append({
+                "name": meta.name,
+                "kind": "materialized_view",
+                "plugin_type": None,
+                "indexes": "",
+                "row_count": view.row_count,
+                "regions": 0,
+                "storage_bytes": view.estimated_bytes(),
+                "analyzed_rows": None,
+            })
+            continue
         table = engine._tables.get(meta.name)
         if table is None:
             continue
@@ -182,6 +197,10 @@ def _event_rows(engine) -> list[dict]:
     return engine.events.rows()
 
 
+def _stream_rows(engine) -> list[dict]:
+    return [loader.stats_row() for loader in engine.stream_loaders()]
+
+
 def _empty_rows() -> list[dict]:
     return []
 
@@ -229,6 +248,13 @@ SYSTEM_TABLE_SPECS = [
       "detail"),
      (_LONG, _DOUBLE, _STRING, _STRING, _LONG, _LONG, _STRING),
      "The bounded cluster event log (flush/compaction/split/...)."),
+    ("sys.streams",
+     ("loader", "topic", "table", "offset", "end_offset", "lag",
+      "watermark", "open_windows", "finalized_windows", "late_events",
+      "alerts", "views", "loaded", "dropped", "polls", "sim_ms"),
+     (_STRING, _STRING, _STRING, _LONG, _LONG, _LONG, _DOUBLE, _LONG,
+      _LONG, _LONG, _LONG, _STRING, _LONG, _LONG, _LONG, _DOUBLE),
+     "Per-stream-loader offsets, watermark, window and alert stats."),
     ("sys.slow_queries",
      ("seq", "user", "sim_ms", "statement"),
      (_LONG, _STRING, _DOUBLE, _STRING),
@@ -255,6 +281,7 @@ def install_system_tables(engine) -> None:
         "sys.balancer": lambda: _balancer_rows(engine),
         "sys.replication": lambda: _replication_rows(engine),
         "sys.events": lambda: _event_rows(engine),
+        "sys.streams": lambda: _stream_rows(engine),
         "sys.slow_queries": _empty_rows,
         "sys.sessions": _empty_rows,
     }

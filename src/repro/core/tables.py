@@ -467,6 +467,10 @@ class ViewTable:
     def columns(self) -> list[str]:
         return list(self.dataframe.columns)
 
+    @property
+    def row_count(self) -> int:
+        return self.dataframe.count()
+
     def describe(self) -> list[dict]:
         return [{"field": c, "type": "view column", "flags": ""}
                 for c in self.dataframe.columns]

@@ -11,6 +11,12 @@ from repro.datagen.trajgen import TrajectoryGenerator, generate_traj_dataset
 from repro.datagen.ordergen import OrderGenerator, generate_order_dataset
 from repro.datagen.synthetic import generate_synthetic_dataset
 from repro.datagen.datasets import DatasetStats, dataset_statistics
+from repro.datagen.transitgen import (
+    TRANSIT_RT_CONFIG,
+    TRANSIT_RT_SCHEMA,
+    TransitGenerator,
+    generate_transit_feed,
+)
 
 __all__ = [
     "TrajectoryGenerator",
@@ -20,4 +26,8 @@ __all__ = [
     "generate_synthetic_dataset",
     "DatasetStats",
     "dataset_statistics",
+    "TransitGenerator",
+    "generate_transit_feed",
+    "TRANSIT_RT_SCHEMA",
+    "TRANSIT_RT_CONFIG",
 ]

@@ -245,6 +245,19 @@ class SessionExpiredEvent(Event):
     idle_s: float = 0.0
 
 
+@dataclass
+class GeofenceAlertEvent(Event):
+    """A streamed object entered or exited an active geofence."""
+
+    kind = "geofence_alert"
+    table: str = ""      # the fence plugin table
+    alert: str = ""      # "enter" | "exit"
+    gid: str = ""
+    object_id: str = ""
+    lng: float = 0.0
+    lat: float = 0.0
+
+
 class EventLog:
     """Bounded, simulated-clock-stamped ring of typed cluster events.
 

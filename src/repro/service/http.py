@@ -161,6 +161,8 @@ class JustHttpServer:
             return self.server.balancer_snapshot()
         if path == "/replication":
             return self.server.replication_snapshot()
+        if path == "/streams":
+            return self.server.streams_snapshot()
         return {"error": f"unknown path {path!r}", "kind": "RouteError"}
 
     def _execute(self, request: dict) -> dict:

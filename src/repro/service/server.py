@@ -151,8 +151,14 @@ class JustServer:
             self._drop_user_views(session)
 
     def _drop_user_views(self, session: UserSession) -> None:
-        """Session death clears the user's cached views (Section IV-D)."""
+        """Session death clears the user's cached views (Section IV-D).
+
+        Materialized views survive: they are loader-maintained pipeline
+        outputs, not per-session caches.
+        """
         for name in self.engine.view_names(session.namespace):
+            if self.engine.is_materialized_view(name):
+                continue
             self.engine.drop_view(name)
 
     # -- administration ------------------------------------------------------
@@ -226,6 +232,10 @@ class JustServer:
             snapshot.update(balancer.snapshot())
             snapshot["history"] = balancer.history_rows()
         return snapshot
+
+    def streams_snapshot(self) -> dict:
+        """JSON-safe ``sys.streams`` rows for the ``/streams`` route."""
+        return {"streams": self.engine.system_rows("sys.streams")}
 
     def replication_snapshot(self) -> dict:
         """JSON-safe replication state for the ``/replication`` route."""

@@ -1,12 +1,59 @@
-"""Streaming ingestion (future work #1 of Section IX).
+"""Streaming ingestion and continuous queries (Section IX future work #1).
 
 The paper plans Kafka support; this package provides the equivalent
-substrate: named append-only topics with offset-based consumption, and a
-micro-batch loader that maps events through a LOAD-style CONFIG into a
-stored table.  Because JUST keys are record-local, streaming inserts are
-just inserts — no index rebuilds, no future-time restriction.
+substrate and the continuous-query layer on top of it:
+
+* :mod:`~repro.streaming.stream` — named append-only topics with
+  offset-based consumption and an at-least-once micro-batch loader
+  mapping events through a LOAD-style CONFIG into a stored table.
+* :mod:`~repro.streaming.watermark` — bounded-out-of-orderness
+  event-time watermarks.
+* :mod:`~repro.streaming.window` — tumbling/sliding windows with
+  commutative aggregates, finalized exactly once when the watermark
+  passes (including curve-cell heatmap keys).
+* :mod:`~repro.streaming.views` — incrementally-maintained
+  materialized views, registered in the catalog and queryable in SQL.
+* :mod:`~repro.streaming.alerts` — geofence enter/exit alerting joined
+  against ``GeofencePlugin`` fences.
+
+Because JUST keys are record-local, streaming inserts are just inserts
+— no index rebuilds, no future-time restriction.
 """
 
-from repro.streaming.stream import StreamTopic, StreamLoader
+from repro.streaming.alerts import GeofenceAlert, GeofenceAlerter
+from repro.streaming.stream import StreamLoader, StreamTopic
+from repro.streaming.views import MaterializedView
+from repro.streaming.watermark import WatermarkTracker
+from repro.streaming.window import (
+    Avg,
+    Count,
+    Max,
+    Min,
+    SlidingWindows,
+    Sum,
+    TumblingWindows,
+    WindowedAggregator,
+    batch_aggregate,
+    cell_envelope,
+    curve_cell_key,
+)
 
-__all__ = ["StreamTopic", "StreamLoader"]
+__all__ = [
+    "StreamTopic",
+    "StreamLoader",
+    "WatermarkTracker",
+    "TumblingWindows",
+    "SlidingWindows",
+    "WindowedAggregator",
+    "batch_aggregate",
+    "Count",
+    "Sum",
+    "Avg",
+    "Min",
+    "Max",
+    "curve_cell_key",
+    "cell_envelope",
+    "MaterializedView",
+    "GeofenceAlert",
+    "GeofenceAlerter",
+]

@@ -1,0 +1,132 @@
+"""Geofence alerting: join in-flight stream events against fences.
+
+Every mapped event is hit-tested against a ``GeofencePlugin`` table
+(:meth:`~repro.core.plugins.GeofencePlugin.active_fences` — polygon
+containment plus validity window, charged to the poll's SimJob like any
+other index probe).  The alerter keeps a per-object set of fences the
+object is currently inside; transitions produce typed
+:class:`GeofenceAlert` events:
+
+* ``enter`` — the object's position moved into a fence it was outside,
+* ``exit``  — it left a fence it was inside.
+
+Alerts are appended to the alerter's in-memory log, emitted into the
+cluster event log (``sys.events`` kind ``geofence_alert``), and — when
+a ``sink`` topic is given — published as events so downstream loaders
+can consume them like any other stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.observability.events import GeofenceAlertEvent
+
+
+@dataclass(frozen=True)
+class GeofenceAlert:
+    """One fence boundary crossing by one streamed object."""
+
+    alert: str            # "enter" | "exit"
+    gid: str
+    fence_name: str
+    object_id: str
+    lng: float
+    lat: float
+    event_time: float     # epoch seconds (the event's own timestamp)
+    detected_ms: float    # simulated cluster clock at detection
+    published_ms: float | None = None  # producer stamp, if the event had one
+
+    @property
+    def latency_ms(self) -> float | None:
+        """End-to-end publish→alert latency on the simulated clock."""
+        if self.published_ms is None:
+            return None
+        return self.detected_ms - self.published_ms
+
+    def as_event(self) -> dict:
+        """The alert as a publishable topic event."""
+        return {"alert": self.alert, "gid": self.gid,
+                "fence_name": self.fence_name, "object_id": self.object_id,
+                "lng": self.lng, "lat": self.lat,
+                "event_time": self.event_time,
+                "detected_ms": self.detected_ms,
+                "published_ms": self.published_ms}
+
+
+class GeofenceAlerter:
+    """Stateful enter/exit detection against one geofence table."""
+
+    def __init__(self, engine, fence_table: str, key_field: str = "fid",
+                 geom_field: str = "geom", time_field: str = "time",
+                 sink=None, max_alerts: int = 10_000):
+        self.engine = engine
+        self.fences = engine.table(fence_table)
+        if not hasattr(self.fences, "active_fences"):
+            raise ExecutionError(
+                f"{fence_table!r} is not a geofence plugin table")
+        self.fence_table = fence_table
+        self.key_field = key_field
+        self.geom_field = geom_field
+        self.time_field = time_field
+        self.sink = sink
+        self.max_alerts = max_alerts
+        self._inside: dict[str, frozenset[str]] = {}
+        self._fence_names: dict[str, str] = {}
+        self.alerts: list[GeofenceAlert] = []
+        self.total_alerts = 0
+        self.total_by_kind = {"enter": 0, "exit": 0}
+
+    def process(self, pairs, job=None) -> list[GeofenceAlert]:
+        """Hit-test one batch of ``(raw event, mapped row)`` pairs.
+
+        Returns the alerts raised by this batch, in event order.
+        """
+        new: list[GeofenceAlert] = []
+        for event, row in pairs:
+            geom = row.get(self.geom_field)
+            event_time = row.get(self.time_field)
+            if geom is None or event_time is None:
+                continue
+            object_id = str(row.get(self.key_field))
+            hits = self.fences.active_fences(geom.lng, geom.lat,
+                                             float(event_time), job)
+            current = frozenset(str(hit["gid"]) for hit in hits)
+            for hit in hits:
+                self._fence_names[str(hit["gid"])] = hit.get("name") or ""
+            previous = self._inside.get(object_id, frozenset())
+            published_ms = event.get("published_ms")
+            # Detection happens mid-poll: the cluster clock plus the
+            # simulated work this poll has already done (queue wait in
+            # the topic is the clock delta since publish).
+            detected_ms = self.engine.events.now_ms + (
+                job.elapsed_ms if job is not None else 0.0)
+            for kind, gids in (("enter", current - previous),
+                               ("exit", previous - current)):
+                for gid in sorted(gids):
+                    new.append(GeofenceAlert(
+                        alert=kind, gid=gid,
+                        fence_name=self._fence_names.get(gid, ""),
+                        object_id=object_id,
+                        lng=geom.lng, lat=geom.lat,
+                        event_time=float(event_time),
+                        detected_ms=detected_ms,
+                        published_ms=published_ms))
+            self._inside[object_id] = current
+        self._record(new)
+        return new
+
+    def _record(self, alerts: list[GeofenceAlert]) -> None:
+        for alert in alerts:
+            self.total_alerts += 1
+            self.total_by_kind[alert.alert] += 1
+            self.engine.events.emit(GeofenceAlertEvent(
+                table=self.fence_table, alert=alert.alert, gid=alert.gid,
+                object_id=alert.object_id, lng=round(alert.lng, 6),
+                lat=round(alert.lat, 6)))
+            if self.sink is not None:
+                self.sink.append(alert.as_event())
+        self.alerts.extend(alerts)
+        if len(self.alerts) > self.max_alerts:
+            del self.alerts[:len(self.alerts) - self.max_alerts]
