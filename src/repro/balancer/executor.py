@@ -87,6 +87,14 @@ class Balancer:
         self.splits += splits
         self.merges += merges
         imbalance_after = imbalance(server_loads(store, now_ms), policy)
+        registry = getattr(store.stats, "metrics", None)
+        if registry is not None:
+            registry.counter("balancer.runs").inc()
+            registry.counter("balancer.moves").inc(moves)
+            registry.counter("balancer.splits").inc(splits)
+            registry.counter("balancer.merges").inc(merges)
+            registry.gauge("balancer.imbalance").set(
+                round(imbalance_after, 6))
         event = BalancerRunEvent(
             run=run, moves=moves, splits=splits, merges=merges,
             imbalance_before=round(imbalance_before, 3),

@@ -39,6 +39,11 @@ alerts over a transit-delay feed)::
 
     python -m repro stream --quick
 
+Monitoring dashboard (sparklines over the scraped metrics history,
+SLO burn-rate alerting against an injected gray failure)::
+
+    python -m repro dash --once
+
 The shell keeps one engine (and one user session) for its lifetime, prints
 result sets as aligned tables, and reports each query's simulated
 latency.  ``--user`` picks the namespace; multiple shells could share an
@@ -195,6 +200,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if argv and argv[0] == "stream":
         from repro.streaming.demo import main as stream_main
         return stream_main(argv[1:], out=out)
+    if argv and argv[0] == "dash":
+        from repro.observability.dash import main as dash_main
+        return dash_main(argv[1:], out=out)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="JustQL shell for the JUST reproduction engine.")

@@ -144,6 +144,9 @@ class JustEngine:
         #: Optional hot-region load balancer (see :meth:`enable_balancer`);
         #: None means placement stays pure round-robin.
         self.balancer = None
+        #: Optional monitoring pipeline (see :meth:`enable_monitoring`);
+        #: None means no metrics history / SLOs / alerts are kept.
+        self.monitor = None
         #: Virtual ``sys.*`` tables: live row providers over engine state.
         self.system_tables: dict[str, object] = {}
         from repro.core.systables import install_system_tables
@@ -165,6 +168,22 @@ class JustEngine:
         elif policy is not None:
             self.balancer.policy = policy
         return self.balancer
+
+    # -- monitoring --------------------------------------------------------------
+    def enable_monitoring(self, **kwargs):
+        """Attach the scrape → history → SLO → alert pipeline.
+
+        Returns the :class:`repro.observability.monitor.Monitor`.  The
+        service layer ticks its scrape chore after every statement;
+        library users call ``monitor.maybe_tick()`` (or ``tick()``)
+        themselves.  Retained series surface in ``sys.metrics_history``,
+        objectives in ``sys.slos``, and alert state in ``sys.alerts``
+        (plus ``slo_burn``/``alert`` events in ``sys.events``).
+        """
+        from repro.observability.monitor import Monitor
+        if self.monitor is None:
+            self.monitor = Monitor(self, **kwargs)
+        return self.monitor
 
     # -- replication -------------------------------------------------------------
     @property

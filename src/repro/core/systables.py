@@ -197,6 +197,30 @@ def _event_rows(engine) -> list[dict]:
     return engine.events.rows()
 
 
+def _metrics_history_rows(engine) -> list[dict]:
+    """Retained scrape points (empty until monitoring is enabled)."""
+    monitor = getattr(engine, "monitor", None)
+    if monitor is None:
+        return []
+    return monitor.history_rows()
+
+
+def _slo_rows(engine) -> list[dict]:
+    """One row per objective (empty until monitoring is enabled)."""
+    monitor = getattr(engine, "monitor", None)
+    if monitor is None:
+        return []
+    return monitor.slo_rows()
+
+
+def _alert_rows(engine) -> list[dict]:
+    """One row per (objective, severity) burn-rate alert."""
+    monitor = getattr(engine, "monitor", None)
+    if monitor is None:
+        return []
+    return monitor.alert_rows()
+
+
 def _stream_rows(engine) -> list[dict]:
     return [loader.stats_row() for loader in engine.stream_loaders()]
 
@@ -255,9 +279,27 @@ SYSTEM_TABLE_SPECS = [
      (_STRING, _STRING, _STRING, _LONG, _LONG, _LONG, _DOUBLE, _LONG,
       _LONG, _LONG, _LONG, _STRING, _LONG, _LONG, _LONG, _DOUBLE),
      "Per-stream-loader offsets, watermark, window and alert stats."),
+    ("sys.metrics_history",
+     ("name", "kind", "tier", "ts_ms", "value", "rate_per_s"),
+     (_STRING, _STRING, _LONG, _DOUBLE, _DOUBLE, _DOUBLE),
+     "Retained metric scrapes per downsampling tier, with reset-aware "
+     "adjacent rates for counters."),
+    ("sys.slos",
+     ("slo", "kind", "target", "signal", "state", "budget_remaining",
+      "burn_short", "burn_long", "description"),
+     (_STRING, _STRING, _DOUBLE, _STRING, _STRING, _DOUBLE, _DOUBLE,
+      _DOUBLE, _STRING),
+     "Service-level objectives with live error-budget burn state."),
+    ("sys.alerts",
+     ("slo", "severity", "state", "burn_short", "burn_long", "factor",
+      "short_ms", "long_ms", "pending_since_ms", "fired_at_ms",
+      "times_fired", "trace_id", "updated_ms"),
+     (_STRING, _STRING, _STRING, _DOUBLE, _DOUBLE, _DOUBLE, _DOUBLE,
+      _DOUBLE, _DOUBLE, _DOUBLE, _LONG, _STRING, _DOUBLE),
+     "Multi-window burn-rate alert state per (SLO, severity)."),
     ("sys.slow_queries",
-     ("seq", "user", "sim_ms", "statement"),
-     (_LONG, _STRING, _DOUBLE, _STRING),
+     ("seq", "user", "trace_id", "sim_ms", "statement"),
+     (_LONG, _STRING, _STRING, _DOUBLE, _STRING),
      "Statements over the slow-query threshold."),
     ("sys.sessions",
      ("session_id", "user", "created_at", "idle_s"),
@@ -282,6 +324,9 @@ def install_system_tables(engine) -> None:
         "sys.replication": lambda: _replication_rows(engine),
         "sys.events": lambda: _event_rows(engine),
         "sys.streams": lambda: _stream_rows(engine),
+        "sys.metrics_history": lambda: _metrics_history_rows(engine),
+        "sys.slos": lambda: _slo_rows(engine),
+        "sys.alerts": lambda: _alert_rows(engine),
         "sys.slow_queries": _empty_rows,
         "sys.sessions": _empty_rows,
     }

@@ -21,10 +21,22 @@ instrumentation a production HBase/Spark deployment would have:
   breaker trip/admission shed/session expiry) stamped on the simulated
   clock, queryable as the ``sys.events`` system table (the HBase
   master-UI events page / ``performance_schema`` role).
+* :class:`~repro.observability.history.MetricsHistory` +
+  :class:`~repro.observability.history.MetricsScraper` — the retained
+  dimension: a simulated-clock scrape chore samples the registry into
+  bounded stride-downsampling tiers with counter-reset-aware
+  ``rate()``/``increase()`` window queries (the Prometheus-TSDB role).
+* :class:`~repro.observability.slo.SloManager` — declarative SLOs,
+  error budgets, and Google-SRE multi-window burn-rate alerts through
+  a pending → firing → resolved state machine (the Alertmanager role).
+* :class:`~repro.observability.monitor.Monitor` — the composed
+  pipeline the engine owns (``engine.enable_monitoring()``), surfaced
+  as ``sys.metrics_history`` / ``sys.slos`` / ``sys.alerts``.
 """
 
 from repro.observability.events import (
     AdmissionShedEvent,
+    AlertEvent,
     BreakerTripEvent,
     CompactionEvent,
     DecayedRate,
@@ -33,23 +45,43 @@ from repro.observability.events import (
     FailoverEvent,
     FlushEvent,
     SessionExpiredEvent,
+    SloBurnEvent,
     SplitEvent,
     WalCheckpointEvent,
 )
+from repro.observability.history import (
+    MetricsHistory,
+    MetricsScraper,
+    Series,
+)
 from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
+from repro.observability.monitor import Monitor, default_objectives
 from repro.observability.profile import QueryProfile, Span, analyze_rows
+from repro.observability.slo import (
+    AvailabilityObjective,
+    BurnWindow,
+    LatencyObjective,
+    Objective,
+    SloManager,
+    default_windows,
+)
 from repro.observability.slowlog import SlowQueryEntry, SlowQueryLog
 
 __all__ = [
     "AdmissionShedEvent",
+    "AlertEvent",
+    "AvailabilityObjective",
     "BreakerTripEvent",
+    "BurnWindow",
     "CompactionEvent",
     "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
     "DecayedRate",
     "Event",
     "EventLog",
@@ -57,13 +89,23 @@ __all__ = [
     "FlushEvent",
     "Gauge",
     "Histogram",
+    "LatencyObjective",
+    "MetricsHistory",
     "MetricsRegistry",
+    "MetricsScraper",
+    "Monitor",
+    "Objective",
     "QueryProfile",
+    "Series",
     "SessionExpiredEvent",
+    "SloBurnEvent",
+    "SloManager",
     "SlowQueryEntry",
     "SlowQueryLog",
     "Span",
     "SplitEvent",
     "WalCheckpointEvent",
     "analyze_rows",
+    "default_objectives",
+    "default_windows",
 ]

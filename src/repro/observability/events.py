@@ -258,6 +258,31 @@ class GeofenceAlertEvent(Event):
     lat: float = 0.0
 
 
+@dataclass
+class SloBurnEvent(Event):
+    """An SLO started burning error budget fast enough to alert on."""
+
+    kind = "slo_burn"
+    slo: str = ""
+    severity: str = ""       # burn window severity ("page" | "ticket")
+    burn_short: float = 0.0  # burn rate over the short window
+    burn_long: float = 0.0   # burn rate over the long window
+    threshold: float = 0.0   # the window's burn-rate factor
+
+
+@dataclass
+class AlertEvent(Event):
+    """An SLO alert changed state (pending → firing → resolved)."""
+
+    kind = "alert"
+    slo: str = ""
+    severity: str = ""
+    state: str = ""          # "firing" | "resolved"
+    burn_short: float = 0.0
+    burn_long: float = 0.0
+    trace_id: str = ""       # exemplar trace of an offending query
+
+
 class EventLog:
     """Bounded, simulated-clock-stamped ring of typed cluster events.
 

@@ -10,6 +10,16 @@ what the benchmark harness needs for tail-latency attribution.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
+#: Default latency bucket bounds (simulated milliseconds).  Cumulative
+#: ``le`` bucket counters make *windowed* latency SLIs exact: the SLO
+#: layer computes the fraction of observations above a threshold from
+#: two counter increases instead of from unwindowed quantiles.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+    2500.0, 5000.0)
+
 
 def _escape_label_value(value) -> str:
     """Prometheus label-value escaping (backslash first, then quote/LF)."""
@@ -24,6 +34,19 @@ def _metric_key(name: str, labels: dict) -> str:
     inner = ",".join(f"{k}={_escape_label_value(labels[k])}"
                      for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def _format_bound(bound: float) -> str:
+    """Compact, stable rendering of a bucket upper bound (``le``)."""
+    return f"{bound:g}"
+
+
+def _type_name(metric) -> str:
+    if isinstance(metric, Counter):
+        return "counter"
+    if isinstance(metric, Gauge):
+        return "gauge"
+    return "histogram"
 
 
 class Counter:
@@ -74,9 +97,12 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "sum", "_samples", "_max_samples",
-                 "_stride", "_phase", "_tail_provisional")
+                 "_stride", "_phase", "_tail_provisional", "_sorted",
+                 "buckets", "_bucket_counts", "_bucket_exemplars",
+                 "last_exemplar")
 
-    def __init__(self, name: str, max_samples: int = 8192):
+    def __init__(self, name: str, max_samples: int = 8192,
+                 buckets: tuple[float, ...] | None = None):
         self.name = name
         self.count = 0
         self.sum = 0.0
@@ -85,10 +111,34 @@ class Histogram:
         self._stride = 1
         self._phase = 0
         self._tail_provisional = False
+        #: Sorted view of ``_samples``, invalidated on observe so one
+        #: snapshot (p50+p95+p99) pays a single O(n log n) sort.
+        self._sorted: list[float] | None = None
+        self.buckets: tuple[float, ...] = (
+            tuple(sorted(buckets)) if buckets else ())
+        # Cumulative ``le`` counts, one per bound (no +Inf slot; that is
+        # ``count``).  Exemplars keep one (stamp, exemplar) per bucket
+        # plus an overflow slot, so alerts can link the most recent
+        # observation above a threshold back to its trace.
+        self._bucket_counts: list[int] = [0] * len(self.buckets)
+        self._bucket_exemplars: list[tuple[int, object] | None] = (
+            [None] * (len(self.buckets) + 1))
+        self.last_exemplar: object | None = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: object = None) -> None:
         self.count += 1
         self.sum += value
+        self._sorted = None
+        if self.buckets:
+            slot = bisect_left(self.buckets, value)
+            for i in range(slot, len(self.buckets)):
+                self._bucket_counts[i] += 1
+        else:
+            slot = 0
+        if exemplar is not None:
+            self.last_exemplar = exemplar
+            if self.buckets:
+                self._bucket_exemplars[slot] = (self.count, exemplar)
         if self._tail_provisional:
             # The previous observation was off-stride and kept only so
             # the buffer tail tracks the latest value; its successor
@@ -110,13 +160,36 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs (Prometheus ``le``)."""
+        return list(zip(self.buckets, self._bucket_counts))
+
+    def exemplar_above(self, threshold: float):
+        """Most recent exemplar observed above ``threshold``, or None.
+
+        Scans the overflow slot plus every bucket whose upper bound
+        exceeds the threshold (bucket membership is approximate at the
+        boundary bucket; exemplars are diagnostics, not accounting).
+        """
+        best: tuple[int, object] | None = None
+        for i, entry in enumerate(self._bucket_exemplars):
+            if entry is None:
+                continue
+            bound_above = (i >= len(self.buckets)
+                           or self.buckets[i] > threshold)
+            if bound_above and (best is None or entry[0] > best[0]):
+                best = entry
+        return best[1] if best is not None else None
+
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile over the retained samples."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
         rank = max(0, min(len(ordered) - 1,
                           int(q * len(ordered) + 0.5) - 1))
         return ordered[rank]
@@ -134,10 +207,14 @@ class Histogram:
         return self.quantile(0.99)
 
     def as_dict(self) -> dict:
-        return {"count": self.count, "sum": round(self.sum, 6),
-                "mean": round(self.mean, 6),
-                "p50": round(self.p50, 6), "p95": round(self.p95, 6),
-                "p99": round(self.p99, 6)}
+        out = {"count": self.count, "sum": round(self.sum, 6),
+               "mean": round(self.mean, 6),
+               "p50": round(self.p50, 6), "p95": round(self.p95, 6),
+               "p99": round(self.p99, 6)}
+        if self.buckets:
+            out["buckets"] = {_format_bound(bound): count
+                              for bound, count in self.bucket_counts()}
+        return out
 
 
 class MetricsRegistry:
@@ -151,14 +228,15 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._help: dict[str, str] = {}
 
-    def _get(self, name: str, labels: dict, factory):
+    def _get(self, name: str, labels: dict, cls, **kwargs):
         key = _metric_key(name, labels)
         metric = self._metrics.get(key)
         if metric is None:
-            metric = factory(key)
+            metric = cls(key, **kwargs)
             self._metrics[key] = metric
-        elif not isinstance(metric, factory):
+        elif not isinstance(metric, cls):
             raise TypeError(f"metric {key!r} already registered as "
                             f"{type(metric).__name__}")
         return metric
@@ -169,8 +247,18 @@ class MetricsRegistry:
     def gauge(self, name: str, **labels) -> Gauge:
         return self._get(name, labels, Gauge)
 
-    def histogram(self, name: str, **labels) -> Histogram:
-        return self._get(name, labels, Histogram)
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] | None = None,
+                  **labels) -> Histogram:
+        """Get-or-create; ``buckets`` applies only on first creation."""
+        return self._get(name, labels, Histogram, buckets=buckets)
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to a metric *base* name (no labels)."""
+        self._help[name] = help_text
+
+    def help_text(self, name: str) -> str | None:
+        return self._help.get(name)
 
     def __contains__(self, key: str) -> bool:
         return key in self._metrics
@@ -199,15 +287,38 @@ class MetricsRegistry:
 
         Histogram stat suffixes attach to the metric *name*, before any
         label braces (``name_p95{op=scan}``), the only form Prometheus
-        scrapers parse.
+        scrapers parse.  Each metric base name gets a ``# TYPE`` line
+        (and a ``# HELP`` line when :meth:`describe` registered one)
+        before its first sample, and bucketed histograms additionally
+        expose cumulative ``name_bucket{le=...}`` series.
         """
-        lines = []
-        for key, value in self.snapshot().items():
-            if isinstance(value, dict):
-                base, brace, labels = key.partition("{")
-                labelpart = brace + labels
-                for stat, number in value.items():
+        lines: list[str] = []
+        described: set[str] = set()
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            base, brace, labels = key.partition("{")
+            labelpart = brace + labels
+            if base not in described:
+                described.add(base)
+                help_text = self._help.get(base)
+                if help_text is not None:
+                    escaped = (help_text.replace("\\", "\\\\")
+                               .replace("\n", "\\n"))
+                    lines.append(f"# HELP {base} {escaped}")
+                lines.append(f"# TYPE {base} {_type_name(metric)}")
+            if isinstance(metric, Histogram):
+                stats = metric.as_dict()
+                stats.pop("buckets", None)
+                for stat, number in stats.items():
                     lines.append(f"{base}_{stat}{labelpart} {number}")
+                if metric.buckets:
+                    inner = labels[:-1] + "," if labelpart else ""
+                    for bound, count in metric.bucket_counts():
+                        lines.append(f"{base}_bucket{{"
+                                     f"{inner}le={_format_bound(bound)}}}"
+                                     f" {count}")
+                    lines.append(f"{base}_bucket{{{inner}le=+Inf}} "
+                                 f"{metric.count}")
             else:
-                lines.append(f"{key} {value}")
+                lines.append(f"{key} {metric.value}")
         return "\n".join(lines)

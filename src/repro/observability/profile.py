@@ -12,7 +12,22 @@ tree.
 
 from __future__ import annotations
 
+import itertools
 from contextlib import contextmanager
+
+#: Deterministic OTel-shaped id generators: 128-bit trace ids and
+#: 64-bit span ids rendered as fixed-width hex.  A process-local
+#: counter (not a PRNG) keeps replays and tests reproducible.
+_TRACE_IDS = itertools.count(1)
+_SPAN_IDS = itertools.count(1)
+
+
+def next_trace_id() -> str:
+    return f"{next(_TRACE_IDS):032x}"
+
+
+def next_span_id() -> str:
+    return f"{next(_SPAN_IDS):016x}"
 
 
 class Span:
@@ -23,7 +38,8 @@ class Span:
     EXPLAIN ANALYZE tools report operator timings.
     """
 
-    __slots__ = ("name", "kind", "attrs", "sim_ms", "children")
+    __slots__ = ("name", "kind", "attrs", "sim_ms", "children",
+                 "span_id", "parent_id")
 
     def __init__(self, name: str, kind: str = "span", **attrs):
         self.name = name
@@ -31,6 +47,8 @@ class Span:
         self.attrs = attrs
         self.sim_ms = 0.0
         self.children: list[Span] = []
+        self.span_id = next_span_id()
+        self.parent_id = ""
 
     @property
     def rows(self) -> int:
@@ -54,6 +72,7 @@ class Span:
 
     def as_dict(self) -> dict:
         out = {"name": self.name, "kind": self.kind,
+               "span_id": self.span_id, "parent_id": self.parent_id,
                "sim_ms": round(self.sim_ms, 3)}
         out.update(self.attrs)
         if self.children:
@@ -76,6 +95,7 @@ class QueryProfile:
     def __init__(self, statement: str = "", user: str = ""):
         self.statement = statement
         self.user = user
+        self.trace_id = next_trace_id()
         self.root = Span("statement", kind="service",
                          statement=statement, user=user)
         self._stack: list[Span] = [self.root]
@@ -88,6 +108,7 @@ class QueryProfile:
     def span(self, name: str, kind: str = "span", **attrs):
         """Open a nested span; instrumentation fills attrs before exit."""
         span = Span(name, kind, **attrs)
+        span.parent_id = self.current.span_id
         self.current.children.append(span)
         self._stack.append(span)
         try:
@@ -103,6 +124,7 @@ class QueryProfile:
         could interleave badly with the consumer's own spans.
         """
         span = Span(name, kind, **attrs)
+        span.parent_id = self.current.span_id
         self.current.children.append(span)
         return span
 
@@ -122,6 +144,7 @@ class QueryProfile:
 
     def as_dict(self) -> dict:
         return {"statement": self.statement, "user": self.user,
+                "trace_id": self.trace_id,
                 "sim_ms": round(self.root.sim_ms, 3),
                 "trace": self.root.as_dict()}
 

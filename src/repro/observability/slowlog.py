@@ -28,10 +28,12 @@ class SlowQueryEntry:
     breakdown: dict[str, float] = field(default_factory=dict)
     profile: dict | None = None
     seq: int = 0
+    trace_id: str = ""
 
     def as_dict(self) -> dict:
         out = {"seq": self.seq, "user": self.user,
                "statement": self.statement,
+               "trace_id": self.trace_id,
                "sim_ms": round(self.sim_ms, 3),
                "breakdown": {k: round(v, 3)
                              for k, v in self.breakdown.items()}}
@@ -57,7 +59,8 @@ class SlowQueryLog:
 
     def observe(self, statement: str, user: str, sim_ms: float,
                 breakdown: dict[str, float] | None = None,
-                profile: dict | None = None) -> SlowQueryEntry | None:
+                profile: dict | None = None,
+                trace_id: str = "") -> SlowQueryEntry | None:
         """Log the statement when it crossed the threshold."""
         if self.threshold_ms is None or sim_ms < self.threshold_ms:
             return None
@@ -65,7 +68,7 @@ class SlowQueryLog:
         self.total_logged += 1
         entry = SlowQueryEntry(statement, user, sim_ms,
                                dict(breakdown or {}), profile,
-                               seq=self._seq)
+                               seq=self._seq, trace_id=trace_id)
         self._entries.append(entry)
         return entry
 

@@ -108,6 +108,12 @@ class JustHttpServer:
     * ``GET  /replication``  {} -> {enabled, factor?, replicas?, ...}
       — replication state: quorum/shipping counters plus one row per
       replica (``sys.replication`` over HTTP).
+    * ``GET  /metrics/history`` {name?, start_ms?, limit?} ->
+      {enabled, series?, scrapes?, rows?} — retained metric scrapes
+      per downsampling tier (``sys.metrics_history`` over HTTP).
+    * ``GET  /slos``         {} -> {enabled, slos?, alerts?, ...}
+      — objectives with error-budget state plus per-severity
+      burn-rate alert state (``sys.slos``/``sys.alerts`` over HTTP).
     """
 
     def __init__(self, server: JustServer | None = None,
@@ -163,6 +169,16 @@ class JustHttpServer:
             return self.server.replication_snapshot()
         if path == "/streams":
             return self.server.streams_snapshot()
+        if path == "/metrics/history":
+            limit = request.get("limit")
+            start_ms = request.get("start_ms")
+            return self.server.metrics_history_snapshot(
+                name=request.get("name"),
+                start_ms=float(start_ms) if start_ms is not None
+                else None,
+                limit=int(limit) if limit is not None else None)
+        if path == "/slos":
+            return self.server.slos_snapshot()
         return {"error": f"unknown path {path!r}", "kind": "RouteError"}
 
     def _execute(self, request: dict) -> dict:

@@ -7,6 +7,7 @@ from collections import deque
 from repro.core.engine import JustEngine
 from repro.core.systables import SYSTEM_TABLE_SPECS
 from repro.observability.events import SessionExpiredEvent
+from repro.observability.metrics import DEFAULT_LATENCY_BUCKETS_MS
 from repro.observability.profile import QueryProfile
 from repro.observability.slowlog import DEFAULT_SLOW_MS, SlowQueryLog
 from repro.resilience import AdmissionController, Deadline, RequestContext
@@ -55,6 +56,15 @@ class JustServer:
         #: the admission controller reports into it too.
         self.metrics = self.engine.metrics
         self.admission.bind_metrics(self.metrics)
+        # Create the statement histogram bucketed up front: cumulative
+        # le-buckets are what make windowed latency SLOs exact, and
+        # buckets only apply on first creation.
+        self.metrics.histogram("server.statement_sim_ms",
+                               buckets=DEFAULT_LATENCY_BUCKETS_MS)
+        self.metrics.describe("server.statement_sim_ms",
+                              "per-statement simulated latency")
+        self.metrics.describe("server.statements",
+                              "statements executed, by status")
         #: The engine's structured event log; statement latencies advance
         #: its simulated clock, so region hotness decays with real load.
         self.events = self.engine.events
@@ -125,14 +135,22 @@ class JustServer:
             profile.finish(sim_ms)
         self._profiles.append(profile)
         self.metrics.counter("server.statements", status=status).inc()
-        self.metrics.histogram("server.statement_sim_ms").observe(sim_ms)
+        # The trace id rides along as the histogram exemplar, so a
+        # latency alert can name an offending query.
+        self.metrics.histogram("server.statement_sim_ms").observe(
+            sim_ms, exemplar=profile.trace_id)
         breakdown = dict(job.breakdown) if job is not None else {}
         self.slow_query_log.observe(statement, user, sim_ms,
                                     breakdown=breakdown,
-                                    profile=profile.as_dict())
+                                    profile=profile.as_dict(),
+                                    trace_id=profile.trace_id)
         # Statement latencies are the event log's notion of elapsed time;
         # advancing it here is what makes region hotness rates decay.
         self.events.advance(sim_ms)
+        # The monitoring chore: scrape the registry into the metrics
+        # history and re-evaluate SLO burn rates on the same clock.
+        if self.engine.monitor is not None:
+            self.engine.monitor.maybe_tick()
         # The master's balancer chore: with a balancer enabled on the
         # engine, each statement's clock advance may trigger a balance
         # pass (the policy interval gates how often).
@@ -210,6 +228,7 @@ class JustServer:
 
     def _slow_query_rows(self) -> list[dict]:
         return [{"seq": e.seq, "user": e.user,
+                 "trace_id": e.trace_id,
                  "sim_ms": round(e.sim_ms, 3), "statement": e.statement}
                 for e in self.slow_query_log.entries()]
 
@@ -236,6 +255,29 @@ class JustServer:
     def streams_snapshot(self) -> dict:
         """JSON-safe ``sys.streams`` rows for the ``/streams`` route."""
         return {"streams": self.engine.system_rows("sys.streams")}
+
+    def metrics_history_snapshot(self, name: str | None = None,
+                                 start_ms: float | None = None,
+                                 limit: int | None = None) -> dict:
+        """JSON-safe metrics history for ``/metrics/history``."""
+        monitor = self.engine.monitor
+        snapshot = {"enabled": monitor is not None}
+        if monitor is not None:
+            rows = monitor.history_rows(name=name, start_ms=start_ms)
+            snapshot["series"] = len(monitor.history)
+            snapshot["scrapes"] = monitor.scraper.scrapes
+            snapshot["rows"] = rows if limit is None else rows[-limit:]
+        return snapshot
+
+    def slos_snapshot(self) -> dict:
+        """JSON-safe SLO + alert state for the ``/slos`` route."""
+        monitor = self.engine.monitor
+        snapshot = {"enabled": monitor is not None}
+        if monitor is not None:
+            snapshot.update(monitor.snapshot())
+            snapshot["slos"] = monitor.slo_rows()
+            snapshot["alerts"] = monitor.alert_rows()
+        return snapshot
 
     def replication_snapshot(self) -> dict:
         """JSON-safe replication state for the ``/replication`` route."""

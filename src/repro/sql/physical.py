@@ -123,7 +123,8 @@ def _execute_node(plan: LogicalNode, engine, job, ctx=None) -> DataFrame:
         extra = _extra_functions(engine)
         if getattr(engine, "vectorized", False) and child.num_batches:
             batches = child.to_batches()
-            out = [_filter_batch(b, [plan.predicate], extra)
+            metrics = getattr(engine, "metrics", None)
+            out = [_filter_batch(b, [plan.predicate], extra, metrics)
                    for b in batches]
             job.charge_cpu_batch(child.count(), len(batches))
             return DataFrame.from_batches([b for b in out if len(b)],
@@ -298,11 +299,14 @@ def _execute_scan_batched(plan: ScanNode, table, preds: _ScanPredicates,
     num_source = 0
     batch_ms: list[float] = []
     last_ms = job.elapsed_ms
+    metrics = getattr(engine, "metrics", None)
     for batch in source:
         num_source += 1
         rows_in += len(batch)
         if preds.residual:
-            batch = _filter_batch(batch, preds.residual, extra)
+            batch = _filter_batch(batch, preds.residual, extra, metrics)
+        elif metrics is not None:
+            metrics.counter("sql.batches").inc()
         if plan.pushed_projection is not None:
             batch = batch.select(columns)
         if len(batch):
@@ -324,8 +328,17 @@ def _execute_scan_batched(plan: ScanNode, table, preds: _ScanPredicates,
     return DataFrame.from_batches(batches, columns)
 
 
+def _count_batch(metrics, fallback: bool) -> None:
+    """Vectorized-exec accounting: batches seen and row-path fallbacks."""
+    if metrics is None:
+        return
+    metrics.counter("sql.batches").inc()
+    if fallback:
+        metrics.counter("sql.batch_fallbacks").inc()
+
+
 def _filter_batch(batch: RowBatch, conjuncts: list[Expr],
-                  extra: dict) -> RowBatch:
+                  extra: dict, metrics=None) -> RowBatch:
     """Keep the batch's rows where every conjunct evaluates to TRUE.
 
     Falls back to the row-at-a-time evaluator for the whole batch when
@@ -336,10 +349,12 @@ def _filter_batch(batch: RowBatch, conjuncts: list[Expr],
     try:
         masks = [eval_expr_batch(c, batch, extra) for c in conjuncts]
     except (ExecutionError, TypeError):
+        _count_batch(metrics, fallback=True)
         rows = [row for row in batch.iter_rows()
                 if all(eval_expr(c, row, extra) is True
                        for c in conjuncts)]
         return RowBatch.from_rows(rows, batch.columns)
+    _count_batch(metrics, fallback=False)
     if len(masks) == 1:
         return batch.filter(masks[0])
     return batch.filter([all(m is True for m in ms)
@@ -514,7 +529,8 @@ def _execute_project(plan: ProjectNode, engine, job, ctx=None) -> DataFrame:
 
     names = [n for _e, n in plan.projections]
     if getattr(engine, "vectorized", False) and child.num_batches:
-        out = [_project_batch(b, plan.projections, extra)
+        metrics = getattr(engine, "metrics", None)
+        out = [_project_batch(b, plan.projections, extra, metrics)
                for b in child.to_batches()]
         job.charge_cpu_batch(child.count(), child.num_batches)
         return DataFrame.from_batches(out, names)
@@ -527,17 +543,20 @@ def _execute_project(plan: ProjectNode, engine, job, ctx=None) -> DataFrame:
     return child.map_rows(project, names)
 
 
-def _project_batch(batch: RowBatch, projections, extra: dict) -> RowBatch:
+def _project_batch(batch: RowBatch, projections, extra: dict,
+                   metrics=None) -> RowBatch:
     """Evaluate scalar projections column-at-a-time over one batch."""
     names = [n for _e, n in projections]
     try:
         data = {name: eval_expr_batch(expr, batch, extra)
                 for expr, name in projections}
     except (ExecutionError, TypeError):
+        _count_batch(metrics, fallback=True)
         rows = [{name: eval_expr(expr, row, extra)
                  for expr, name in projections}
                 for row in batch.iter_rows()]
         return RowBatch.from_rows(rows, names)
+    _count_batch(metrics, fallback=False)
     return RowBatch(data, names, len(batch))
 
 
@@ -607,7 +626,9 @@ def _execute_aggregate(plan: AggregateNode, engine, job,
     child = execute_plan(plan.child, engine, job, ctx)
     extra = _extra_functions(engine)
     if getattr(engine, "vectorized", False) and child.num_batches:
-        return _execute_aggregate_batched(plan, child, extra, job)
+        return _execute_aggregate_batched(
+            plan, child, extra, job,
+            metrics=getattr(engine, "metrics", None))
     job.charge_cpu_records(child.count(), us_per_record=4.0)
 
     group_names = [name for _e, name in plan.group_exprs]
@@ -635,16 +656,20 @@ def _execute_aggregate(plan: AggregateNode, engine, job,
     return prepared.group_by(group_names, specs)
 
 
-def _eval_column(expr: Expr, batch: RowBatch, extra: dict) -> list:
+def _eval_column(expr: Expr, batch: RowBatch, extra: dict,
+                 metrics=None) -> list:
     """One expression over one batch, with row-at-a-time fallback."""
     try:
         return eval_expr_batch(expr, batch, extra)
     except (ExecutionError, TypeError):
+        if metrics is not None:
+            metrics.counter("sql.batch_fallbacks").inc()
         return [eval_expr(expr, row, extra) for row in batch.iter_rows()]
 
 
 def _execute_aggregate_batched(plan: AggregateNode, child: DataFrame,
-                               extra: dict, job) -> DataFrame:
+                               extra: dict, job,
+                               metrics=None) -> DataFrame:
     """Hash aggregation folding column-major batches directly.
 
     Group keys and aggregate inputs are evaluated once per batch as
@@ -669,9 +694,12 @@ def _execute_aggregate_batched(plan: AggregateNode, child: DataFrame,
     total = 0
     for batch in batches:
         total += len(batch)
-        key_cols = [_eval_column(expr, batch, extra)
+        if metrics is not None:
+            metrics.counter("sql.batches").inc()
+        key_cols = [_eval_column(expr, batch, extra, metrics)
                     for expr, _name in plan.group_exprs]
-        in_cols = [None if e is None else _eval_column(e, batch, extra)
+        in_cols = [None if e is None
+                   else _eval_column(e, batch, extra, metrics)
                    for e in agg_exprs]
         for i in range(len(batch)):
             key = tuple(col[i] for col in key_cols)

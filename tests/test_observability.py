@@ -536,3 +536,190 @@ class TestStreamingScan:
         region.put(b"x", None)
         region.flush()
         assert list(region.scan(b"", None, None)) == []
+
+
+# -- histogram buckets and exemplars ------------------------------------------
+
+class TestHistogramBuckets:
+    def test_bucket_counts_are_cumulative(self):
+        h = Histogram("lat", buckets=(10.0, 100.0, 1000.0))
+        for v in (5.0, 7.0, 50.0, 500.0, 5000.0):
+            h.observe(v)
+        assert h.bucket_counts() == [(10.0, 2), (100.0, 3),
+                                     (1000.0, 4)]
+        assert h.count == 5  # the +Inf bucket is the exact count
+
+    def test_boundary_lands_in_its_le_bucket(self):
+        h = Histogram("lat", buckets=(10.0,))
+        h.observe(10.0)  # le means <=
+        assert h.bucket_counts() == [(10.0, 1)]
+
+    def test_unbucketed_histogram_has_no_bucket_series(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        assert h.bucket_counts() == []
+        assert "buckets" not in h.as_dict()
+
+    def test_as_dict_exposes_buckets_by_bound(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        h.observe(5.0)
+        assert h.as_dict()["buckets"] == {"10": 1, "100": 1}
+
+    def test_exemplar_above_names_the_latest_offender(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        h.observe(5.0, exemplar="fast")
+        h.observe(50.0, exemplar="slow-1")
+        h.observe(5000.0, exemplar="very-slow")
+        h.observe(60.0, exemplar="slow-2")
+        assert h.exemplar_above(10.0) == "slow-2"
+        assert h.exemplar_above(100.0) == "very-slow"
+        assert h.last_exemplar == "slow-2"
+
+    def test_exemplar_above_without_offenders(self):
+        h = Histogram("lat", buckets=(10.0,))
+        h.observe(5.0, exemplar="fast")
+        assert h.exemplar_above(10.0) is None
+
+    def test_quantile_view_sorts_once_until_dirty(self, monkeypatch):
+        import repro.observability.metrics as metrics_mod
+        calls = []
+        builtin_sorted = sorted
+
+        def counting_sorted(*args, **kwargs):
+            calls.append(1)
+            return builtin_sorted(*args, **kwargs)
+
+        monkeypatch.setattr(metrics_mod, "sorted", counting_sorted,
+                            raising=False)
+        h = metrics_mod.Histogram("lat")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        h.as_dict()  # p50 + p95 + p99: one sort, cached view reused
+        assert len(calls) == 1
+        h.quantile(0.5)
+        assert len(calls) == 1
+        h.observe(9.0)  # new sample dirties the cache
+        h.quantile(0.5)
+        assert len(calls) == 2
+
+
+# -- Prometheus exposition round-trip -----------------------------------------
+
+def parse_prometheus_text(text):
+    """Minimal Prometheus text-format parser: types, helps, samples."""
+    types, helps, samples = {}, {}, {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            name, kind = line[len("# TYPE "):].rsplit(" ", 1)
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            name, help_text = line[len("# HELP "):].split(" ", 1)
+            helps[name] = help_text.replace("\\n", "\n") \
+                .replace("\\\\", "\\")
+            continue
+        key, value = line.rsplit(" ", 1)
+        samples[key] = float(value)
+    return types, helps, samples
+
+
+class TestPrometheusExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.describe("reqs", "requests served")
+        registry.counter("reqs", status="ok").inc(3)
+        registry.gauge("depth").set(2.5)
+        registry.histogram("lat", buckets=(10.0, 100.0),
+                           op="scan").observe(50.0)
+        return registry
+
+    def test_every_base_name_gets_one_type_line(self):
+        types, helps, samples = parse_prometheus_text(
+            self._registry().render_text())
+        assert types == {"reqs": "counter", "depth": "gauge",
+                         "lat": "histogram"}
+        assert helps == {"reqs": "requests served"}
+
+    def test_samples_round_trip(self):
+        types, helps, samples = parse_prometheus_text(
+            self._registry().render_text())
+        assert samples["reqs{status=ok}"] == 3
+        assert samples["depth"] == 2.5
+        assert samples["lat_count{op=scan}"] == 1
+        assert samples["lat_bucket{op=scan,le=10}"] == 0
+        assert samples["lat_bucket{op=scan,le=100}"] == 1
+        assert samples["lat_bucket{op=scan,le=+Inf}"] == 1
+
+    def test_buckets_are_monotone_and_capped_by_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        _, _, samples = parse_prometheus_text(registry.render_text())
+        bounds = ["1", "10", "100", "+Inf"]
+        counts = [samples[f"lat_bucket{{le={b}}}"] for b in bounds]
+        assert counts == sorted(counts)
+        assert counts[-1] == samples["lat_count"]
+
+    def test_help_escapes_newlines(self):
+        registry = MetricsRegistry()
+        registry.describe("m", "line one\nline two")
+        registry.counter("m").inc()
+        text = registry.render_text()
+        assert "# HELP m line one\\nline two" in text
+        _, helps, _ = parse_prometheus_text(text)
+        assert helps["m"] == "line one\nline two"
+
+    def test_every_line_parses(self):
+        # No stray stat suffixes after label braces, no unparsable rows.
+        text = self._registry().render_text()
+        types, helps, samples = parse_prometheus_text(text)
+        assert len(samples) == 2 + 6 + 3  # scalars + hist stats + buckets
+        assert not any("}_p" in line or "}_c" in line
+                       for line in text.splitlines())
+
+
+# -- OTel-shaped trace identity -----------------------------------------------
+
+class TestTraceIds:
+    def test_profiles_get_unique_trace_ids(self):
+        a, b = QueryProfile("SELECT 1", "u"), QueryProfile("SELECT 2", "u")
+        assert len(a.trace_id) == 32 and len(b.trace_id) == 32
+        assert a.trace_id != b.trace_id
+
+    def test_spans_chain_parent_ids(self):
+        profile = QueryProfile("q", "u")
+        root = profile.root
+        assert root.parent_id == ""
+        with profile.span("scan") as scan:
+            assert scan.parent_id == root.span_id
+            with profile.span("filter") as child:
+                assert child.parent_id == scan.span_id
+        assert len(root.span_id) == 16
+
+    def test_as_dict_carries_ids(self):
+        profile = QueryProfile("q", "u")
+        with profile.span("scan"):
+            pass
+        profile.finish(1.0)
+        data = profile.as_dict()
+        assert data["trace_id"] == profile.trace_id
+        assert data["trace"]["span_id"]
+        child = data["trace"]["children"][0]
+        assert child["parent_id"] == data["trace"]["span_id"]
+
+    def test_slow_log_entries_link_back_to_the_trace(self):
+        server = JustServer(slow_query_ms=0.001)
+        _run_workload(server, WORKLOAD)
+        entries = server.slow_queries()
+        profiles = {p.trace_id for p in server.recent_profiles()}
+        assert entries
+        for entry in entries:
+            assert entry["trace_id"] in profiles
+
+    def test_statement_histogram_keeps_a_slow_exemplar(self):
+        server = JustServer()
+        _run_workload(server, WORKLOAD)
+        histogram = server.metrics._metrics["server.statement_sim_ms"]
+        assert histogram.last_exemplar in \
+            {p.trace_id for p in server.recent_profiles()}
